@@ -1,0 +1,379 @@
+//! The performance-monitoring-unit model: counters and sampling.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Countable PMU events.
+///
+/// Real hardware exposes these as `MEM_UOPS_RETIRED.ALL_LOADS`,
+/// `MEM_UOPS_RETIRED.ALL_STORES` and their sum; RDX programs one counter in
+/// sampling mode and reads the aggregate counters from its handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PmuEvent {
+    /// Retired memory loads.
+    Loads,
+    /// Retired memory stores.
+    Stores,
+    /// All retired memory accesses (loads + stores).
+    Accesses,
+}
+
+/// A snapshot of all PMU counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Retired loads so far.
+    pub loads: u64,
+    /// Retired stores so far.
+    pub stores: u64,
+}
+
+impl CounterSnapshot {
+    /// Value of the given event in this snapshot.
+    #[must_use]
+    pub fn value(&self, event: PmuEvent) -> u64 {
+        match event {
+            PmuEvent::Loads => self.loads,
+            PmuEvent::Stores => self.stores,
+            PmuEvent::Accesses => self.loads + self.stores,
+        }
+    }
+}
+
+/// Configuration of the sampling engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Event driving the sampling counter.
+    pub event: PmuEvent,
+    /// Mean sampling period (events between samples). Must be non-zero.
+    pub period: u64,
+    /// If non-zero, each inter-sample gap is drawn uniformly from
+    /// `[period − jitter, period + jitter]`. Randomization breaks lock-step
+    /// resonance between the sampling period and loop trip counts — the
+    /// standard technique RDX inherits from PMU-profiling practice.
+    pub jitter: u64,
+    /// Maximum sampling skid in events. 0 models PEBS-precise sampling
+    /// (the sampled address is exact); `k > 0` delivers the address of an
+    /// access up to `k` events *after* the counter overflow, drawn
+    /// uniformly — the behaviour of non-precise interrupts.
+    pub max_skid: u64,
+}
+
+impl SamplingConfig {
+    /// Precise (PEBS-like) sampling of all memory accesses with 10 %
+    /// period randomization, the profiler's default mode.
+    #[must_use]
+    pub fn precise(period: u64) -> Self {
+        SamplingConfig {
+            event: PmuEvent::Accesses,
+            period,
+            jitter: period / 10,
+            max_skid: 0,
+        }
+    }
+
+    /// Disables jitter (fixed period). Used by the randomization ablation.
+    #[must_use]
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter = 0;
+        self
+    }
+
+    /// Sets the maximum skid. Used by the skid ablation.
+    #[must_use]
+    pub fn with_skid(mut self, max_skid: u64) -> Self {
+        self.max_skid = max_skid;
+        self
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig::precise(64 * 1024)
+    }
+}
+
+/// The PMU: free-running counters plus a sampling countdown.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    counters: CounterSnapshot,
+    config: SamplingConfig,
+    /// Events until the next counter overflow.
+    countdown: u64,
+    /// Pending skid: number of further events to let pass before the
+    /// overflowed sample is materialized. `None` when no overflow pending.
+    pending_skid: Option<u64>,
+    rng: SmallRng,
+}
+
+/// What the PMU reports for one event, returned by [`Pmu::on_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmuOutcome {
+    /// Nothing sampled at this event.
+    Quiet,
+    /// This event is a sample: the profiler's overflow handler runs on it.
+    SampleHere,
+}
+
+impl Pmu {
+    /// Creates a PMU with the given sampling configuration and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.period` is zero or `config.jitter >= config.period`.
+    #[must_use]
+    pub fn new(config: SamplingConfig, seed: u64) -> Self {
+        assert!(config.period > 0, "sampling period must be non-zero");
+        assert!(
+            config.jitter < config.period,
+            "jitter must be smaller than the period"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let countdown = Self::draw_gap(&config, &mut rng);
+        Pmu {
+            counters: CounterSnapshot::default(),
+            config,
+            countdown,
+            pending_skid: None,
+            rng,
+        }
+    }
+
+    fn draw_gap(config: &SamplingConfig, rng: &mut SmallRng) -> u64 {
+        if config.jitter == 0 {
+            config.period
+        } else {
+            rng.random_range(config.period - config.jitter..=config.period + config.jitter)
+        }
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters
+    }
+
+    /// The sampling configuration.
+    #[must_use]
+    pub fn config(&self) -> SamplingConfig {
+        self.config
+    }
+
+    /// Advances the PMU by one memory access event.
+    ///
+    /// `is_store` selects which counter increments. Returns whether the
+    /// profiler's sample handler should run *on this event*.
+    pub fn on_event(&mut self, is_store: bool) -> PmuOutcome {
+        if is_store {
+            self.counters.stores += 1;
+        } else {
+            self.counters.loads += 1;
+        }
+        let counted = match self.config.event {
+            PmuEvent::Loads => !is_store,
+            PmuEvent::Stores => is_store,
+            PmuEvent::Accesses => true,
+        };
+
+        if !counted {
+            return PmuOutcome::Quiet;
+        }
+
+        // A skidding sample in flight materializes on a later counted event.
+        // The hardware counter keeps counting meanwhile, so the countdown to
+        // the next overflow advances independently of the skid pipeline.
+        let mut fire = false;
+        if let Some(left) = self.pending_skid {
+            if left == 0 {
+                self.pending_skid = None;
+                fire = true;
+            } else {
+                self.pending_skid = Some(left - 1);
+            }
+        }
+
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            // Overflow. Rearm, then either sample right here (precise) or
+            // start the skid countdown.
+            self.countdown = Self::draw_gap(&self.config, &mut self.rng);
+            if self.config.max_skid == 0 {
+                fire = true;
+            } else {
+                let skid = self.rng.random_range(0..=self.config.max_skid);
+                if skid == 0 {
+                    fire = true;
+                } else {
+                    // An unmaterialized older skid is overwritten: the
+                    // sample is lost, as on real hardware when interrupts
+                    // pile up faster than they are serviced.
+                    self.pending_skid = Some(skid - 1);
+                }
+            }
+        }
+        if fire {
+            PmuOutcome::SampleHere
+        } else {
+            PmuOutcome::Quiet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_kinds() {
+        let mut pmu = Pmu::new(SamplingConfig::precise(1000).without_jitter(), 1);
+        for i in 0..10 {
+            pmu.on_event(i % 3 == 0);
+        }
+        let c = pmu.counters();
+        assert_eq!(c.stores, 4);
+        assert_eq!(c.loads, 6);
+        assert_eq!(c.value(PmuEvent::Accesses), 10);
+        assert_eq!(c.value(PmuEvent::Loads), 6);
+        assert_eq!(c.value(PmuEvent::Stores), 4);
+    }
+
+    #[test]
+    fn fixed_period_samples_exactly() {
+        let mut pmu = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Accesses,
+                period: 100,
+                jitter: 0,
+                max_skid: 0,
+            },
+            7,
+        );
+        let mut sample_indices = Vec::new();
+        for i in 1..=1000u64 {
+            if pmu.on_event(false) == PmuOutcome::SampleHere {
+                sample_indices.push(i);
+            }
+        }
+        assert_eq!(sample_indices, (1..=10).map(|k| k * 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jittered_period_mean_close() {
+        let mut pmu = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Accesses,
+                period: 100,
+                jitter: 30,
+                max_skid: 0,
+            },
+            42,
+        );
+        let mut samples = 0u64;
+        let n = 1_000_000u64;
+        for _ in 0..n {
+            if pmu.on_event(false) == PmuOutcome::SampleHere {
+                samples += 1;
+            }
+        }
+        let mean_gap = n as f64 / samples as f64;
+        assert!(
+            (mean_gap - 100.0).abs() < 2.0,
+            "mean gap {mean_gap} should be ≈100"
+        );
+    }
+
+    #[test]
+    fn load_only_event_ignores_stores() {
+        let mut pmu = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Loads,
+                period: 10,
+                jitter: 0,
+                max_skid: 0,
+            },
+            1,
+        );
+        let mut samples = 0;
+        // alternate: 20 loads interleaved with 20 stores
+        for i in 0..40 {
+            if pmu.on_event(i % 2 == 0) == PmuOutcome::SampleHere {
+                samples += 1;
+            }
+        }
+        assert_eq!(samples, 2, "20 loads at period 10 → 2 samples");
+    }
+
+    #[test]
+    fn skid_delays_but_preserves_rate() {
+        let mut pmu = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Accesses,
+                period: 100,
+                jitter: 0,
+                max_skid: 5,
+            },
+            3,
+        );
+        let mut indices = Vec::new();
+        for i in 1..=10_000u64 {
+            if pmu.on_event(false) == PmuOutcome::SampleHere {
+                indices.push(i);
+            }
+        }
+        assert!(!indices.is_empty());
+        for (k, &i) in indices.iter().enumerate() {
+            let overflow_at = (k as u64 + 1) * 100;
+            assert!(
+                i >= overflow_at && i <= overflow_at + 5,
+                "sample {k} at {i}, overflow at {overflow_at}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let run = |seed| {
+            let mut pmu = Pmu::new(SamplingConfig::precise(50), seed);
+            (0..5000)
+                .filter(|_| pmu.on_event(false) == PmuOutcome::SampleHere)
+                .count()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Accesses,
+                period: 0,
+                jitter: 0,
+                max_skid: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the period")]
+    fn oversized_jitter_rejected() {
+        let _ = Pmu::new(
+            SamplingConfig {
+                event: PmuEvent::Accesses,
+                period: 10,
+                jitter: 10,
+                max_skid: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn default_is_precise_64k() {
+        let c = SamplingConfig::default();
+        assert_eq!(c.period, 64 * 1024);
+        assert_eq!(c.max_skid, 0);
+        assert!(c.jitter > 0);
+    }
+}

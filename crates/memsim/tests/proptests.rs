@@ -1,0 +1,89 @@
+//! Property tests for the machine model: sampling statistics and
+//! watchpoint semantics under arbitrary traces.
+
+use memsim::{
+    Hardware, Machine, MachineConfig, Profiler, Sample, SamplingConfig, Trap, Watchpoint,
+};
+use proptest::prelude::*;
+use rdx_trace::Trace;
+
+#[derive(Default)]
+struct Recorder {
+    samples: Vec<u64>,
+    traps: Vec<(u64, u64)>, // (armed_at, trap_index)
+}
+
+impl Profiler for Recorder {
+    fn on_sample(&mut self, sample: &Sample, hw: &mut Hardware) {
+        self.samples.push(sample.index);
+        if hw.armed_count() < hw.register_count() {
+            let _ = hw.arm(Watchpoint::read_write(sample.access.addr, 8), 0);
+        }
+    }
+    fn on_trap(&mut self, trap: &Trap, _hw: &mut Hardware) {
+        self.traps.push((trap.info.armed_at, trap.index));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sample count matches n/period within jitter tolerance, samples are
+    /// strictly increasing, and every trap fires strictly after its arm.
+    #[test]
+    fn machine_invariants(
+        addrs in prop::collection::vec(0u64..512, 100..2000),
+        period in 10u64..200,
+        seed in any::<u64>(),
+    ) {
+        let trace = Trace::from_addresses("p", addrs.iter().map(|a| a * 8));
+        let config = MachineConfig {
+            sampling: SamplingConfig {
+                period,
+                jitter: period / 10,
+                ..SamplingConfig::default()
+            },
+            seed,
+            ..MachineConfig::default()
+        };
+        let mut rec = Recorder::default();
+        let report = Machine::new(config).run(trace.stream(), &mut rec);
+        prop_assert_eq!(report.accesses, addrs.len() as u64);
+        prop_assert_eq!(
+            report.counters.loads + report.counters.stores,
+            addrs.len() as u64
+        );
+        // strictly increasing sample indices
+        for w in rec.samples.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // sampling rate within loose bounds
+        let expected = addrs.len() as u64 / period;
+        if expected >= 5 {
+            let got = rec.samples.len() as u64;
+            prop_assert!(got >= expected / 2 && got <= expected * 2,
+                "expected ≈{} samples, got {}", expected, got);
+        }
+        // traps strictly after arming, and counted in the ledger
+        for &(armed_at, trap_index) in &rec.traps {
+            prop_assert!(trap_index > armed_at);
+        }
+        prop_assert_eq!(report.ledger.traps as usize, rec.traps.len());
+    }
+
+    /// The machine is a pure function of (trace, config).
+    #[test]
+    fn determinism(
+        addrs in prop::collection::vec(0u64..128, 100..800),
+        seed in any::<u64>(),
+    ) {
+        let trace = Trace::from_addresses("d", addrs.iter().map(|a| a * 8));
+        let config = MachineConfig::default().with_sampling_period(50).with_seed(seed);
+        let mut a = Recorder::default();
+        let mut b = Recorder::default();
+        Machine::new(config).run(trace.stream(), &mut a);
+        Machine::new(config).run(trace.stream(), &mut b);
+        prop_assert_eq!(a.samples, b.samples);
+        prop_assert_eq!(a.traps, b.traps);
+    }
+}

@@ -1,0 +1,70 @@
+//! The exhaustive-instrumentation baseline.
+
+use crate::BaselineProfile;
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::Binning;
+use rdx_trace::{AccessStream, Granularity};
+
+/// Exhaustive instrumentation: exact histograms at exhaustive cost.
+///
+/// Wraps [`ExactProfile`] measurement and exposes it through the common
+/// [`BaselineProfile`] shape, with the observation count (every access) and
+/// tracker memory that make it the paper's overhead strawman.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullInstrumentation {
+    /// Histogram binning.
+    pub binning: Binning,
+    /// Measurement granularity.
+    pub granularity: Granularity,
+}
+
+impl FullInstrumentation {
+    /// Creates the baseline with default binning/granularity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measures a stream exhaustively.
+    #[must_use]
+    pub fn profile(&self, stream: impl AccessStream) -> BaselineProfile {
+        let exact = ExactProfile::measure(stream, self.granularity, self.binning);
+        BaselineProfile {
+            rd: exact.rd,
+            accesses: exact.accesses,
+            observed_accesses: exact.accesses,
+            tool_bytes: exact.tracker_bytes as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_trace::Trace;
+
+    #[test]
+    fn exact_histogram_and_full_observation() {
+        let trace = Trace::from_addresses("t", (0..10_000u64).map(|i| (i % 100) * 8));
+        let p = FullInstrumentation::new().profile(trace.stream());
+        assert_eq!(p.accesses, 10_000);
+        assert_eq!(p.observed_accesses, 10_000);
+        assert_eq!(p.rd.total_weight(), 10_000.0);
+        assert!(p.tool_bytes > 0);
+    }
+
+    #[test]
+    fn slowdown_is_orders_of_magnitude() {
+        let trace = Trace::from_addresses("t", (0..1000u64).map(|i| i * 8));
+        let p = FullInstrumentation::new().profile(trace.stream());
+        let slow = p.slowdown(3.0, 250.0);
+        assert!(slow > 50.0, "{slow}");
+    }
+
+    #[test]
+    fn empty_stream() {
+        let p = FullInstrumentation::new().profile(Trace::new("e").stream());
+        assert_eq!(p.slowdown(3.0, 250.0), 1.0);
+        assert!(p.rd.as_histogram().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Baseline reuse-distance estimators RDX is compared against.
+//!
+//! Three comparators, spanning the design space the paper positions RDX in:
+//!
+//! * [`FullInstrumentation`] — the exhaustive tool (Olken over every
+//!   access), re-exported measurement from `rdx-groundtruth` plus the cost
+//!   accounting that makes it the "orders of magnitude slowdown" strawman.
+//! * [`Shards`] — SHARDS-style *spatial* hash sampling (Waldspurger et
+//!   al.): monitor the fixed subset of blocks whose hash falls under a
+//!   threshold, run exact Olken on that subset, scale distances by the
+//!   sampling rate. Still requires observing **every** access (it is an
+//!   instrumentation-time optimization, not an instrumentation remover),
+//!   which is exactly the contrast RDX draws.
+//! * [`CounterOnly`] — PMU sampling without debug registers: reuse *time*
+//!   is approximated from repeated samples of the same block; distances are
+//!   reported as times (no trap ⇒ no exact interval, no footprint anchor).
+//!   Shows why the debug-register half of RDX matters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter_only;
+mod full;
+mod shards;
+
+pub use counter_only::CounterOnly;
+pub use full::FullInstrumentation;
+pub use shards::Shards;
+
+use rdx_histogram::RdHistogram;
+
+/// Common result shape for all baselines, comparable to both ground truth
+/// and RDX profiles.
+#[derive(Debug, Clone)]
+pub struct BaselineProfile {
+    /// Estimated (or exact) reuse-distance histogram, scaled so total
+    /// weight equals the access count.
+    pub rd: RdHistogram,
+    /// Accesses consumed.
+    pub accesses: u64,
+    /// Number of accesses the tool had to *observe* (instrumentation
+    /// work); `accesses` for instrumentation tools, ~`samples` for
+    /// sampling tools. Drives the slowdown comparison.
+    pub observed_accesses: u64,
+    /// Approximate tool memory in bytes.
+    pub tool_bytes: u64,
+}
+
+impl BaselineProfile {
+    /// Slowdown factor implied by the observation count, with
+    /// per-observed-access callback cost `callback_cycles` over a base of
+    /// `base_cycles` per access.
+    #[must_use]
+    pub fn slowdown(&self, base_cycles: f64, callback_cycles: f64) -> f64 {
+        if self.accesses == 0 {
+            return 1.0;
+        }
+        let base = self.accesses as f64 * base_cycles;
+        (base + self.observed_accesses as f64 * callback_cycles) / base
+    }
+}

@@ -1,0 +1,32 @@
+//! B5 — set-associative cache simulation throughput and MRC derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdx_cache::{hierarchy, SetAssociativeCache};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::{Binning, MissRatioCurve};
+use rdx_trace::Granularity;
+use rdx_workloads::{by_name, Params};
+use std::hint::black_box;
+
+const N: u64 = 200_000;
+
+fn bench(c: &mut Criterion) {
+    let w = by_name("random_uniform").expect("in suite");
+    let params = Params::default().with_accesses(N).with_elements(50_000);
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("simulate_llc", |b| {
+        b.iter(|| {
+            let mut llc = SetAssociativeCache::new(hierarchy()[2]);
+            black_box(llc.simulate(w.stream(&params)))
+        });
+    });
+    group.finish();
+    let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2());
+    c.bench_function("cache/mrc_from_histogram", |b| {
+        b.iter(|| black_box(MissRatioCurve::from_rd_histogram(&exact.rd)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

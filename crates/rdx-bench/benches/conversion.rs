@@ -1,0 +1,30 @@
+//! B3 — footprint-conversion cost: building the weighted footprint curve
+//! and mapping sampled reuse times to distances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdx_core::WeightedFootprint;
+use std::hint::black_box;
+
+fn sample_pairs(k: usize) -> Vec<(u64, f64)> {
+    (0..k)
+        .map(|i| ((i as u64 * 37 + 11) % 100_000, 1.0 + (i % 7) as f64))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pairs = sample_pairs(10_000);
+    c.bench_function("conversion/build_10k_pairs", |b| {
+        b.iter(|| black_box(WeightedFootprint::from_sampled(10_000_000, 50_000.0, &pairs)));
+    });
+    let fp = WeightedFootprint::from_sampled(10_000_000, 50_000.0, &pairs);
+    c.bench_function("conversion/distance_queries_10k", |b| {
+        b.iter(|| {
+            for &(t, _) in &pairs {
+                black_box(fp.distance_of(t));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! B4 — histogram primitive costs: recording, merging and the accuracy
+//! metric used throughout the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_histogram::{Binning, Histogram};
+use std::hint::black_box;
+
+fn filled(seed: u64) -> Histogram {
+    let mut h = Histogram::new(Binning::log2());
+    let mut x = seed;
+    for _ in 0..10_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record((x >> 33) % 1_000_000, 1.0);
+    }
+    h
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("record_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(Binning::log2());
+            let mut x = 7u64;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h.record((x >> 33) % 1_000_000, 1.0);
+            }
+            black_box(h)
+        });
+    });
+    group.finish();
+    let a = filled(1);
+    let b_h = filled(2);
+    c.bench_function("histogram/merge", |bch| {
+        bch.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&b_h)).expect("same binning");
+            black_box(m)
+        });
+    });
+    c.bench_function("histogram/intersection", |bch| {
+        bch.iter(|| black_box(histogram_intersection(&a, &b_h).expect("same binning")));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

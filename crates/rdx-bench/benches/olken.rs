@@ -1,0 +1,51 @@
+//! B1 — ground-truth measurement throughput: Fenwick vs treap vs splay
+//! order-statistic structures driving Olken's algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdx_groundtruth::{FenwickStructure, OlkenTracker, SplayStructure, TreapStructure};
+use rdx_trace::AccessStream;
+use rdx_workloads::{by_name, Params};
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn blocks() -> Vec<u64> {
+    let w = by_name("zipf").expect("zipf in suite");
+    let params = Params::default().with_accesses(N).with_elements(10_000);
+    let mut s = w.stream(&params);
+    s.iter().map(|a| a.addr.raw() >> 3).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let blocks = blocks();
+    let mut group = c.benchmark_group("olken");
+    group.throughput(Throughput::Elements(N));
+    group.bench_with_input(BenchmarkId::new("structure", "fenwick"), &blocks, |b, blocks| {
+        b.iter(|| {
+            let mut o = OlkenTracker::<FenwickStructure>::with_structure();
+            for &blk in blocks {
+                black_box(o.access(blk));
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("structure", "treap"), &blocks, |b, blocks| {
+        b.iter(|| {
+            let mut o = OlkenTracker::<TreapStructure>::with_structure();
+            for &blk in blocks {
+                black_box(o.access(blk));
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("structure", "splay"), &blocks, |b, blocks| {
+        b.iter(|| {
+            let mut o = OlkenTracker::<SplayStructure>::with_structure();
+            for &blk in blocks {
+                black_box(o.access(blk));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! B2 — end-to-end RDX profiling throughput (machine loop + handlers) at
+//! two sampling periods, versus exhaustive measurement on the same stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::Binning;
+use rdx_trace::Granularity;
+use rdx_workloads::{by_name, Params};
+use std::hint::black_box;
+
+const N: u64 = 200_000;
+
+fn bench(c: &mut Criterion) {
+    let w = by_name("gauss_hotset").expect("in suite");
+    let params = Params::default().with_accesses(N).with_elements(20_000);
+    let mut group = c.benchmark_group("profiler");
+    group.throughput(Throughput::Elements(N));
+    for period in [1024u64, 16 * 1024] {
+        group.bench_with_input(BenchmarkId::new("rdx", period), &period, |b, &period| {
+            let runner = RdxRunner::new(RdxConfig::default().with_period(period));
+            b.iter(|| black_box(runner.profile(w.stream(&params))));
+        });
+    }
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            black_box(ExactProfile::measure(
+                w.stream(&params),
+                Granularity::WORD,
+                Binning::log2(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! A4 — conversion-method and estimator comparison: RDX's footprint
+//! conversion vs naive time-as-distance, and the counter-only / SHARDS
+//! baselines, all against exhaustive ground truth.
+
+use rdx_baselines::{CounterOnly, Shards};
+use rdx_bench::{accuracy_config, experiment_params, geo_mean, pct, per_workload, print_table};
+use rdx_core::{ConversionMethod, RdxRunner};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_trace::Granularity;
+
+fn main() {
+    let params = experiment_params();
+    let base = accuracy_config();
+    println!(
+        "A4: estimator comparison ({} accesses, period {})\n",
+        params.accesses, base.machine.sampling.period
+    );
+    let rows = per_workload(|w| {
+        let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning);
+        let acc = |h: &rdx_histogram::Histogram| {
+            histogram_intersection(h, exact.rd.as_histogram()).expect("same binning")
+        };
+        let fp = RdxRunner::new(base).profile(w.stream(&params));
+        let naive = RdxRunner::new(base.with_conversion(ConversionMethod::TimeAsDistance))
+            .profile(w.stream(&params));
+        let mut counter = CounterOnly::new(base.machine.sampling.period);
+        counter.granularity = Granularity::WORD;
+        let co = counter.profile(w.stream(&params));
+        let mut shards = Shards::new(0.01);
+        shards.granularity = Granularity::WORD;
+        let sh = shards.profile(w.stream(&params));
+        (
+            acc(fp.rd.as_histogram()).max(1e-9),
+            acc(naive.rd.as_histogram()).max(1e-9),
+            acc(co.rd.as_histogram()).max(1e-9),
+            acc(sh.rd.as_histogram()).max(1e-9),
+        )
+    });
+    let col = |i: usize| -> Vec<f64> {
+        rows.iter()
+            .map(|(_, r)| [r.0, r.1, r.2, r.3][i])
+            .collect()
+    };
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(w, (a, b, c, d))| {
+            vec![w.name.to_string(), pct(*a), pct(*b), pct(*c), pct(*d)]
+        })
+        .collect();
+    table.push(vec![
+        "geo-mean".into(),
+        pct(geo_mean(&col(0))),
+        pct(geo_mean(&col(1))),
+        pct(geo_mean(&col(2))),
+        pct(geo_mean(&col(3))),
+    ]);
+    print_table(
+        &["workload", "rdx (footprint)", "rdx (time-as-dist)", "counter-only", "shards 1%"],
+        &table,
+    );
+    println!("\nSHARDS is accurate but instruments every access; counter-only is");
+    println!("featherlight but inaccurate; RDX holds accuracy at sampling cost.");
+}

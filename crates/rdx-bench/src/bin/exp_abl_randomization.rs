@@ -1,0 +1,53 @@
+//! A3 — period randomization on/off: a fixed sampling period can resonate
+//! with loop trip counts and sample the same loop position forever; the
+//! jitter RDX inherits from PMU practice breaks the lock-step.
+
+use rdx_bench::{accuracy_config, experiment_params, pct, print_table};
+use rdx_core::RdxRunner;
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_trace::Granularity;
+use rdx_workloads::by_name;
+
+/// Loop-heavy kernels where resonance is plausible.
+const SELECTED: &[&str] = &[
+    "stream_triad",
+    "strided",
+    "fifo_queue",
+    "matmul_naive",
+    "stencil2d",
+    "sort_merge",
+];
+
+fn main() {
+    let params = experiment_params();
+    let base = accuracy_config();
+    println!(
+        "A3: accuracy with and without period randomization (period {})\n",
+        base.machine.sampling.period
+    );
+    let mut rows = Vec::new();
+    for name in SELECTED {
+        let w = by_name(name).expect("selected workload exists");
+        let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning);
+        let with_jitter = RdxRunner::new(base).profile(w.stream(&params));
+        let mut fixed = base;
+        fixed.machine.sampling.jitter = 0;
+        let without = RdxRunner::new(fixed).profile(w.stream(&params));
+        let acc = |p: &rdx_core::RdxProfile| {
+            histogram_intersection(p.rd.as_histogram(), exact.rd.as_histogram())
+                .expect("same binning")
+        };
+        rows.push(vec![
+            w.name.to_string(),
+            pct(acc(&with_jitter)),
+            pct(acc(&without)),
+            with_jitter.traps.to_string(),
+            without.traps.to_string(),
+        ]);
+    }
+    print_table(
+        &["workload", "jittered acc", "fixed acc", "traps (jit)", "traps (fix)"],
+        &rows,
+    );
+}

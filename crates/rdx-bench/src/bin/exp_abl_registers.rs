@@ -1,0 +1,46 @@
+//! A1 — how accuracy scales with the number of hardware debug registers
+//! (x86 has 4; the sweep shows what 1, 2, 8 or 16 would buy).
+
+use rdx_bench::{accuracy_config, experiment_params, geo_mean, pct, per_workload, print_table};
+use rdx_core::RdxRunner;
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_trace::Granularity;
+use std::collections::HashMap;
+
+fn main() {
+    let params = experiment_params();
+    let base = accuracy_config();
+    println!(
+        "A1: accuracy vs debug-register count ({} accesses, period {})\n",
+        params.accesses, base.machine.sampling.period
+    );
+    let exacts: HashMap<&str, _> = per_workload(|w| {
+        ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning)
+    })
+    .into_iter()
+    .map(|(w, e)| (w.name, e))
+    .collect();
+    let mut rows = Vec::new();
+    for registers in [1usize, 2, 4, 8, 16] {
+        let config = base.with_registers(registers);
+        let results = per_workload(|w| {
+            let est = RdxRunner::new(config).profile(w.stream(&params));
+            let acc = histogram_intersection(
+                est.rd.as_histogram(),
+                exacts[w.name].rd.as_histogram(),
+            )
+            .expect("same binning");
+            (acc.max(1e-9), est.traps)
+        });
+        let accs: Vec<f64> = results.iter().map(|(_, r)| r.0).collect();
+        let traps: u64 = results.iter().map(|(_, r)| r.1).sum();
+        rows.push(vec![
+            registers.to_string(),
+            pct(geo_mean(&accs)),
+            (traps / results.len() as u64).to_string(),
+        ]);
+    }
+    print_table(&["registers", "geo-mean accuracy", "traps/workload"], &rows);
+    println!("\nx86 exposes 4 debug registers (DR0-DR3) — the paper's constraint.");
+}

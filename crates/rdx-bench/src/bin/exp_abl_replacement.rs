@@ -1,0 +1,61 @@
+//! A2 — watchpoint replacement policy ablation: drop-new (with aging, the
+//! default), FIFO evict-oldest, and random eviction.
+//!
+//! FIFO imposes a hard observability horizon of registers x period, so
+//! long-reuse kernels collapse under it; drop-new observes any interval
+//! exactly at the cost of biased start thinning.
+
+use rdx_bench::{accuracy_config, experiment_params, geo_mean, pct, per_workload, print_table};
+use rdx_core::{RdxRunner, ReplacementPolicy};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_trace::Granularity;
+use std::collections::HashMap;
+
+fn main() {
+    let params = experiment_params();
+    let base = accuracy_config();
+    println!(
+        "A2: accuracy vs replacement policy ({} accesses, period {})\n",
+        params.accesses, base.machine.sampling.period
+    );
+    let exacts: HashMap<&str, _> = per_workload(|w| {
+        ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning)
+    })
+    .into_iter()
+    .map(|(w, e)| (w.name, e))
+    .collect();
+    let policies = [
+        ("drop-new+aging", ReplacementPolicy::DropNew),
+        ("evict-oldest", ReplacementPolicy::EvictOldest),
+        ("evict-random", ReplacementPolicy::EvictRandom),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let config = base.with_replacement(policy);
+        let results = per_workload(|w| {
+            let est = RdxRunner::new(config).profile(w.stream(&params));
+            let acc = histogram_intersection(
+                est.rd.as_histogram(),
+                exacts[w.name].rd.as_histogram(),
+            )
+            .expect("same binning");
+            (acc.max(1e-9), est.traps, est.evictions)
+        });
+        let accs: Vec<f64> = results.iter().map(|(_, r)| r.0).collect();
+        let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+        let traps: u64 = results.iter().map(|(_, r)| r.1).sum();
+        let evics: u64 = results.iter().map(|(_, r)| r.2).sum();
+        rows.push(vec![
+            name.to_string(),
+            pct(geo_mean(&accs)),
+            pct(min),
+            traps.to_string(),
+            evics.to_string(),
+        ]);
+    }
+    print_table(
+        &["policy", "geo-mean acc", "worst acc", "traps", "evictions"],
+        &rows,
+    );
+}

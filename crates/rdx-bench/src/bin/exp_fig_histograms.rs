@@ -1,0 +1,62 @@
+//! F8 — side-by-side reuse-distance histograms (RDX vs ground truth) for
+//! six representative workloads; prints the per-bucket series the paper
+//! plots.
+
+use rdx_bench::{accuracy_config, experiment_params};
+use rdx_core::RdxRunner;
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::Histogram;
+use rdx_trace::Granularity;
+use rdx_workloads::by_name;
+
+const SELECTED: &[&str] = &[
+    "stream_triad",
+    "pointer_chase",
+    "zipf",
+    "matmul_blocked",
+    "stencil2d",
+    "gauss_hotset",
+];
+
+fn series(h: &Histogram) -> Vec<(String, f64)> {
+    let n = h.normalized();
+    let mut out: Vec<(String, f64)> = n
+        .buckets()
+        .map(|b| (format!("[{},{})", b.range.lo, b.range.hi), b.weight))
+        .collect();
+    if n.infinite_weight() > 0.0 {
+        out.push(("cold".into(), n.infinite_weight()));
+    }
+    out
+}
+
+fn main() {
+    let params = experiment_params();
+    let config = accuracy_config();
+    println!(
+        "F8: reuse-distance histograms, RDX vs ground truth ({} accesses)\n",
+        params.accesses
+    );
+    for name in SELECTED {
+        let w = by_name(name).expect("selected workload exists");
+        let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, config.binning);
+        let est = RdxRunner::new(config).profile(w.stream(&params));
+        println!("== {} ==", w.name);
+        println!("{:>24} {:>10} {:>10}", "bucket", "exact", "rdx");
+        let ex = series(exact.rd.as_histogram());
+        let es = series(est.rd.as_histogram());
+        // union of bucket labels, exact's order first
+        let mut labels: Vec<String> = ex.iter().map(|(l, _)| l.clone()).collect();
+        for (l, _) in &es {
+            if !labels.contains(l) {
+                labels.push(l.clone());
+            }
+        }
+        for label in labels {
+            let a = ex.iter().find(|(l, _)| *l == label).map_or(0.0, |(_, v)| *v);
+            let b = es.iter().find(|(l, _)| *l == label).map_or(0.0, |(_, v)| *v);
+            println!("{label:>24} {a:>10.4} {b:>10.4}");
+        }
+        println!();
+    }
+}

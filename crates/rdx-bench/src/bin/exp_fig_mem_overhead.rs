@@ -1,0 +1,63 @@
+//! F7 — RDX memory overhead (paper: ≈7 % mean).
+//!
+//! Profiler memory is the fixed runtime footprint (perf ring buffers,
+//! signal stacks — 2 MiB calibrated) plus dynamic state (pair vectors and
+//! histograms); the application footprint is measured from the trace. The
+//! paper's SPEC workloads carry tens-of-MiB footprints, so this experiment
+//! defaults to a 4 Mi-element (32 MiB) footprint rather than the accuracy
+//! experiments' small one (override with `RDX_ELEMENTS`).
+
+use rdx_bench::{experiment_params, pct, per_workload, print_table};
+use rdx_core::RdxRunner;
+use rdx_histogram::stats::Summary;
+use rdx_trace::{Granularity, TraceStats};
+
+fn main() {
+    let mut params = experiment_params();
+    if std::env::var("RDX_ELEMENTS").is_err() {
+        params = params.with_elements(4 * 1024 * 1024 - 77); // ≈32 MiB, non-pow2
+    }
+    let config = rdx_bench::paper_config();
+    println!(
+        "F7: RDX memory overhead ({} accesses, {} elements)\n",
+        params.accesses, params.elements
+    );
+    let rows = per_workload(|w| {
+        let stats = TraceStats::measure(w.stream(&params), Granularity::WORD);
+        let est = RdxRunner::new(config).profile(w.stream(&params));
+        let app_bytes = stats.footprint_bytes().max(1);
+        (est.profiler_bytes, app_bytes, est.memory_overhead(app_bytes))
+    });
+    let ratios: Vec<f64> = rows.iter().map(|(_, r)| r.2).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(w, (tool, app, ratio))| {
+            vec![
+                w.name.to_string(),
+                format!("{:.0} KiB", *tool as f64 / 1024.0),
+                format!("{:.1} MiB", *app as f64 / (1024.0 * 1024.0)),
+                pct(*ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        &["workload", "profiler mem", "app footprint", "mem overhead"],
+        &table,
+    );
+    let s = Summary::of(&ratios).expect("non-empty suite");
+    let mut sorted = ratios.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "\nmedian {}  mean {}  min {}  max {}",
+        pct(median),
+        pct(s.mean),
+        pct(s.min),
+        pct(s.max)
+    );
+    println!("paper claim: \"negligible memory (7%) overhead\"");
+    println!("(the mean is dominated by kernels whose *algorithmic* footprint is");
+    println!(" tiny — fifo_queue's 24 KiB ring makes any fixed runtime look huge;");
+    println!(" the paper's SPEC subjects all have MiB-to-GiB footprints, for which");
+    println!(" the median row here is the representative number)");
+}

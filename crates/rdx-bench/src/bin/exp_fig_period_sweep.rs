@@ -1,0 +1,60 @@
+//! F9 — sensitivity to the sampling period: accuracy and overhead as the
+//! period sweeps from dense (512) to the paper's 64 Ki operating point.
+//!
+//! The crossover story: overhead falls linearly with the period while
+//! accuracy degrades only once too few pairs are collected for the run
+//! length — long-running applications (the paper's SPEC setting) can have
+//! both, short runs must pick.
+
+use rdx_bench::{experiment_params, geo_mean, pct, per_workload, print_table};
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_histogram::Binning;
+use rdx_trace::Granularity;
+use std::collections::HashMap;
+
+fn main() {
+    let params = experiment_params();
+    println!(
+        "F9: accuracy & overhead vs sampling period ({} accesses)\n",
+        params.accesses
+    );
+    // ground truth once per workload
+    let exacts: HashMap<&str, _> = per_workload(|w| {
+        ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2())
+    })
+    .into_iter()
+    .map(|(w, e)| (w.name, e))
+    .collect();
+
+    let periods = [512u64, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+    let mut rows = Vec::new();
+    for &period in &periods {
+        let config = RdxConfig::default().with_period(period);
+        let results = per_workload(|w| {
+            let est = RdxRunner::new(config).profile(w.stream(&params));
+            let acc = histogram_intersection(
+                est.rd.as_histogram(),
+                exacts[w.name].rd.as_histogram(),
+            )
+            .expect("same binning");
+            (acc, est.time_overhead, est.traps)
+        });
+        let accs: Vec<f64> = results.iter().map(|(_, r)| r.0.max(1e-9)).collect();
+        let overheads: Vec<f64> = results.iter().map(|(_, r)| r.1).collect();
+        let traps: u64 = results.iter().map(|(_, r)| r.2).sum();
+        rows.push(vec![
+            period.to_string(),
+            pct(geo_mean(&accs)),
+            pct(overheads.iter().sum::<f64>() / overheads.len() as f64),
+            (traps / results.len() as u64).to_string(),
+        ]);
+    }
+    print_table(
+        &["period", "geo-mean accuracy", "mean overhead", "traps/workload"],
+        &rows,
+    );
+    println!("\nAt the paper's scale (hours-long SPEC runs, ~10^12 accesses), period");
+    println!("64Ki collects millions of pairs: the top-right corner of this table.");
+}

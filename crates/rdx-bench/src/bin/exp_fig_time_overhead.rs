@@ -1,0 +1,42 @@
+//! F6 — RDX time overhead at the paper's operating point (period 64 Ki).
+//!
+//! Overhead is profiling cycles over base application cycles from the
+//! calibrated cost model (see `memsim::cost`); the paper reports ≈5 % mean.
+
+use rdx_bench::{experiment_params, pct, per_workload, print_table};
+use rdx_core::RdxRunner;
+use rdx_histogram::stats::Summary;
+
+fn main() {
+    let params = experiment_params();
+    let config = rdx_bench::paper_config();
+    println!(
+        "F6: RDX time overhead at period {} ({} accesses)\n",
+        config.machine.sampling.period, params.accesses
+    );
+    let rows = per_workload(|w| {
+        let est = RdxRunner::new(config).profile(w.stream(&params));
+        (est.time_overhead, est.samples, est.traps)
+    });
+    let overheads: Vec<f64> = rows.iter().map(|(_, r)| r.0).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(w, (ovh, samples, traps))| {
+            vec![
+                w.name.to_string(),
+                pct(*ovh),
+                samples.to_string(),
+                traps.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["workload", "time overhead", "samples", "traps"], &table);
+    let s = Summary::of(&overheads).expect("non-empty suite");
+    println!(
+        "\nmean {}  min {}  max {}",
+        pct(s.mean),
+        pct(s.min),
+        pct(s.max)
+    );
+    println!("paper claim: \"negligible time (5%) overhead\"");
+}

@@ -1,0 +1,48 @@
+//! T1 — the workload suite table (substitutes the paper's SPEC CPU2017
+//! benchmark table): per-kernel access counts, footprints, store ratios,
+//! mean reuse distance and cold fraction, plus the SPEC analog mapping.
+
+use rdx_bench::{experiment_params, pct, per_workload, print_table};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::Binning;
+use rdx_trace::{Granularity, TraceStats};
+
+fn main() {
+    let params = experiment_params();
+    println!(
+        "T1: workload suite ({} accesses, {} elements, seed {})\n",
+        params.accesses, params.elements, params.seed
+    );
+    let rows = per_workload(|w| {
+        let stats = TraceStats::measure(w.stream(&params), Granularity::WORD);
+        let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2());
+        let mean_rd = exact
+            .rd
+            .as_histogram()
+            .finite_mean()
+            .map_or_else(|| "-".into(), |m| format!("{m:.0}"));
+        vec![
+            w.name.to_string(),
+            w.spec_analog.to_string(),
+            stats.accesses.to_string(),
+            stats.distinct_blocks.to_string(),
+            format!("{:.0} KiB", stats.footprint_bytes() as f64 / 1024.0),
+            pct(stats.store_ratio()),
+            mean_rd,
+            pct(exact.cold_fraction()),
+        ]
+    });
+    print_table(
+        &[
+            "workload",
+            "spec analog",
+            "accesses",
+            "distinct",
+            "footprint",
+            "stores",
+            "mean RD",
+            "cold",
+        ],
+        &rows.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,150 @@
+//! Shared experiment plumbing for the table/figure binaries.
+//!
+//! Every experiment binary in `src/bin/` regenerates one table or figure of
+//! the paper (see `DESIGN.md` for the index). They share workload sizing,
+//! profiling configs, a parallel sweep driver, and plain-text table output
+//! through this crate.
+//!
+//! Scale knobs (all experiments honour them):
+//!
+//! * `RDX_ACCESSES` — accesses per workload (default 4 000 000).
+//! * `RDX_ELEMENTS` — footprint in 8-byte elements (default 60 000).
+//! * `RDX_PERIOD` — sampling period for accuracy experiments
+//!   (default 2048; the overhead experiments always use the paper's 64 Ki
+//!   operating point).
+//!
+//! The defaults keep the full suite under a minute; the paper-scale
+//! configuration (`RDX_ACCESSES=134217728 RDX_PERIOD=65536`) reproduces the
+//! headline operating point exactly at ~100× the runtime.
+
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use rdx_core::RdxConfig;
+use rdx_workloads::{suite, Params, WorkloadSpec};
+
+/// Workload sizing for experiments, honouring the env overrides.
+#[must_use]
+pub fn experiment_params() -> Params {
+    let mut p = Params::default().with_accesses(4_000_000);
+    if let Some(v) = env_u64("RDX_ACCESSES") {
+        p = p.with_accesses(v);
+    }
+    if let Some(v) = env_u64("RDX_ELEMENTS") {
+        p = p.with_elements(v);
+    }
+    p
+}
+
+/// Profiler config for accuracy experiments (dense sampling so that the
+/// default short runs still collect a few hundred pairs).
+#[must_use]
+pub fn accuracy_config() -> RdxConfig {
+    let period = env_u64("RDX_PERIOD").unwrap_or(2048);
+    RdxConfig::default().with_period(period)
+}
+
+/// Profiler config at the paper's headline operating point (period 64 Ki).
+#[must_use]
+pub fn paper_config() -> RdxConfig {
+    RdxConfig::default()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Runs `f` for every workload in the suite, in parallel, returning
+/// `(workload, result)` rows in canonical suite order.
+pub fn per_workload<T, F>(f: F) -> Vec<(&'static WorkloadSpec, T)>
+where
+    T: Send,
+    F: Fn(&'static WorkloadSpec) -> T + Sync,
+{
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (i, w) in suite().iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let r = f(w);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("workload thread panicked");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|&(i, _)| i);
+    rows.into_iter()
+        .map(|(i, r)| (&suite()[i], r))
+        .collect()
+}
+
+/// Geometric mean of positive values (0 if empty or any non-positive).
+#[must_use]
+pub fn geo_mean(values: &[f64]) -> f64 {
+    rdx_histogram::accuracy::geometric_mean(values).unwrap_or(0.0)
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.to_vec());
+    line(widths.iter().map(|_| "---").collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_workload_covers_suite_in_order() {
+        let rows = per_workload(|w| w.name.len());
+        assert_eq!(rows.len(), suite().len());
+        for (i, (w, len)) in rows.iter().enumerate() {
+            assert_eq!(w.name, suite()[i].name);
+            assert_eq!(*len, w.name.len());
+        }
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!((geo_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0512), "5.1%");
+    }
+
+    #[test]
+    fn default_params() {
+        let p = experiment_params();
+        assert!(p.accesses >= 1000);
+        assert!(p.elements >= 1000);
+    }
+}

@@ -1,0 +1,107 @@
+//! Cache-level presets.
+
+use rdx_trace::Granularity;
+
+/// One cache level's geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Human-readable level name ("L1", "LLC", …).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Capacity in lines.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `ways × line` sets).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        let sets = self.lines() / u64::from(self.ways);
+        assert!(
+            sets > 0 && sets * u64::from(self.ways) * self.line_bytes == self.capacity_bytes,
+            "inconsistent cache geometry: {self:?}"
+        );
+        sets
+    }
+
+    /// The line granularity of this cache.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        Granularity::from_block_bytes(self.line_bytes)
+    }
+
+    /// Capacity expressed in *elements* of `elem_bytes` (for comparing
+    /// against reuse-distance histograms measured at element granularity).
+    #[must_use]
+    pub fn capacity_elements(&self, elem_bytes: u64) -> u64 {
+        self.capacity_bytes / elem_bytes
+    }
+}
+
+/// A typical three-level server hierarchy at 64-byte lines:
+/// 32 KiB 8-way L1, 1 MiB 16-way L2, 32 MiB 16-way LLC.
+#[must_use]
+pub fn hierarchy() -> [CacheConfig; 3] {
+    [
+        CacheConfig {
+            name: "L1",
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        },
+        CacheConfig {
+            name: "L2",
+            capacity_bytes: 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        },
+        CacheConfig {
+            name: "LLC",
+            capacity_bytes: 32 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_geometry() {
+        let [l1, l2, llc] = hierarchy();
+        assert_eq!(l1.lines(), 512);
+        assert_eq!(l1.sets(), 64);
+        assert_eq!(l2.lines(), 16 * 1024);
+        assert_eq!(llc.lines(), 512 * 1024);
+        assert_eq!(l1.granularity().block_bytes(), 64);
+        assert_eq!(l1.capacity_elements(8), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn bad_geometry_detected() {
+        let bad = CacheConfig {
+            name: "bad",
+            capacity_bytes: 1000, // not ways × lines × sets
+            ways: 8,
+            line_bytes: 64,
+        };
+        let _ = bad.sets();
+    }
+}

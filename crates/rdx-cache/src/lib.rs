@@ -1,0 +1,28 @@
+//! Cache modeling on top of reuse-distance histograms.
+//!
+//! Reuse distance is the machine-independent locality metric precisely
+//! because it predicts cache behaviour: an access with reuse distance `d`
+//! hits in a fully-associative LRU cache of capacity `> d`. This crate
+//! closes the loop for the characterization experiments (T3):
+//!
+//! * [`CacheConfig`] / [`hierarchy`] — cache-level presets (sizes in
+//!   blocks) matching a typical server part (32 KiB L1 / 1 MiB L2 /
+//!   32 MiB LLC at 64-byte lines).
+//! * [`SetAssociativeCache`] — an actual set-associative LRU cache
+//!   simulator, used to cross-validate miss ratios predicted from
+//!   reuse-distance histograms (exact and RDX-estimated).
+//! * [`predict`] — glue from [`RdHistogram`]s to per-level miss ratios via
+//!   [`MissRatioCurve`].
+//!
+//! [`MissRatioCurve`]: rdx_histogram::MissRatioCurve
+//! [`RdHistogram`]: rdx_histogram::RdHistogram
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod predict;
+mod simulator;
+
+pub use config::{hierarchy, CacheConfig};
+pub use simulator::{SetAssociativeCache, SimResult};

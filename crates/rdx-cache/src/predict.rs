@@ -1,0 +1,105 @@
+//! Miss-ratio prediction from reuse-distance histograms.
+
+use crate::config::CacheConfig;
+use rdx_histogram::{MissRatioCurve, RdHistogram};
+
+/// Predicted miss ratio for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelPrediction {
+    /// The level's name (from its [`CacheConfig`]).
+    pub name: &'static str,
+    /// Capacity used for the lookup, in histogram-granularity blocks.
+    pub capacity_blocks: u64,
+    /// Predicted LRU miss ratio at that capacity.
+    pub miss_ratio: f64,
+}
+
+/// Predicts per-level miss ratios from a reuse-distance histogram.
+///
+/// `block_bytes` is the granularity the histogram was measured at (8 for
+/// word-granular profiles); each cache's capacity is converted into that
+/// unit before the lookup. Predictions assume full associativity — compare
+/// with [`SetAssociativeCache`] simulation to see conflict effects.
+///
+/// [`SetAssociativeCache`]: crate::SetAssociativeCache
+#[must_use]
+pub fn miss_ratios(
+    rd: &RdHistogram,
+    levels: &[CacheConfig],
+    block_bytes: u64,
+) -> Vec<LevelPrediction> {
+    let mrc = MissRatioCurve::from_rd_histogram(rd);
+    levels
+        .iter()
+        .map(|level| {
+            let capacity_blocks = level.capacity_elements(block_bytes);
+            LevelPrediction {
+                name: level.name,
+                capacity_blocks,
+                miss_ratio: mrc.miss_ratio(capacity_blocks),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::hierarchy;
+    use rdx_histogram::{Binning, ReuseDistance};
+
+    fn rd_with(pairs: &[(u64, f64)], cold: f64) -> RdHistogram {
+        let mut h = RdHistogram::new(Binning::log2());
+        for &(d, w) in pairs {
+            h.record(ReuseDistance::finite(d), w);
+        }
+        if cold > 0.0 {
+            h.record(ReuseDistance::INFINITE, cold);
+        }
+        h
+    }
+
+    #[test]
+    fn small_distances_hit_everywhere() {
+        // all reuses at distance 10 (words): fits even in L1 (4096 words)
+        let rd = rd_with(&[(10, 100.0)], 1.0);
+        let p = miss_ratios(&rd, &hierarchy(), 8);
+        assert_eq!(p.len(), 3);
+        assert!(p[0].miss_ratio < 0.05, "L1 {}", p[0].miss_ratio);
+        assert!(p[2].miss_ratio < 0.05, "LLC {}", p[2].miss_ratio);
+    }
+
+    #[test]
+    fn mid_distances_miss_l1_hit_llc() {
+        // distance 100k words: beyond L1 (4096) and L2 (128Ki? 1MiB/8 =
+        // 131072), within LLC (4Mi words)
+        let rd = rd_with(&[(100_000, 100.0)], 0.0);
+        let p = miss_ratios(&rd, &hierarchy(), 8);
+        assert!(p[0].miss_ratio > 0.95, "L1 must miss");
+        assert!(p[2].miss_ratio < 0.05, "LLC must hit");
+    }
+
+    #[test]
+    fn cold_floor_applies_to_all_levels() {
+        let rd = rd_with(&[(1, 50.0)], 50.0);
+        let p = miss_ratios(&rd, &hierarchy(), 8);
+        for level in &p {
+            assert!(
+                (level.miss_ratio - 0.5).abs() < 0.05 || level.miss_ratio >= 0.5,
+                "{level:?}"
+            );
+        }
+        assert!((p[2].miss_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_conversion_uses_block_bytes() {
+        let rd = rd_with(&[(5000, 1.0)], 0.0);
+        let line_granular = miss_ratios(&rd, &hierarchy(), 64);
+        let word_granular = miss_ratios(&rd, &hierarchy(), 8);
+        // at 64B blocks L1 holds 512 blocks; at 8B it holds 4096
+        assert_eq!(line_granular[0].capacity_blocks, 512);
+        assert_eq!(word_granular[0].capacity_blocks, 4096);
+        assert!(line_granular[0].miss_ratio >= word_granular[0].miss_ratio);
+    }
+}

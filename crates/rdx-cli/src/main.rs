@@ -1,0 +1,164 @@
+//! `rdx` — profile a workload's reuse distances from the command line.
+//!
+//! ```text
+//! rdx list
+//! rdx profile <workload> [--accesses N] [--elements N] [--period N]
+//!             [--seed N] [--registers N] [--exact] [--mrc] [--csv]
+//! ```
+
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_histogram::{Binning, Histogram};
+use rdx_trace::Granularity;
+use rdx_workloads::{by_name, suite, Params};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rdx list\n  rdx profile <workload> [--accesses N] [--elements N] \
+         [--period N]\n              [--seed N] [--registers N] [--exact] [--mrc] [--csv]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:16} {:32} description", "name", "spec analog");
+            for w in suite() {
+                println!("{:16} {:32} {}", w.name, w.spec_analog, w.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("profile") => profile(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn profile(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}'; try `rdx list`");
+        return ExitCode::FAILURE;
+    };
+    let mut params = Params::default().with_accesses(4_000_000);
+    let mut config = RdxConfig::default().with_period(2048);
+    match (|| -> Result<(), String> {
+        if let Some(v) = parse_flag(args, "--accesses")? {
+            params = params.with_accesses(v);
+        }
+        if let Some(v) = parse_flag(args, "--elements")? {
+            params = params.with_elements(v);
+        }
+        if let Some(v) = parse_flag(args, "--seed")? {
+            params = params.with_seed(v);
+            config = config.with_seed(v);
+        }
+        if let Some(v) = parse_flag(args, "--period")? {
+            config = config.with_period(v);
+        }
+        if let Some(v) = parse_flag(args, "--registers")? {
+            config = config.with_registers(v as usize);
+        }
+        Ok(())
+    })() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let csv = args.iter().any(|a| a == "--csv");
+    let want_exact = args.iter().any(|a| a == "--exact");
+    let want_mrc = args.iter().any(|a| a == "--mrc");
+
+    let profile = RdxRunner::new(config).profile(workload.stream(&params));
+    if !csv {
+        println!("workload        : {} ({})", workload.name, workload.spec_analog);
+        println!("accesses        : {}", profile.accesses);
+        println!("samples/traps   : {} / {}", profile.samples, profile.traps);
+        println!("est. blocks     : {:.0}", profile.m_estimate);
+        println!("time overhead   : {:.2}%", profile.time_overhead * 100.0);
+        println!(
+            "memory overhead : {:.2}% (of {} B footprint)",
+            profile.memory_overhead(params.footprint_bytes()) * 100.0,
+            params.footprint_bytes()
+        );
+        println!(
+            "instrumentation : {:.0}x slowdown (for contrast)",
+            profile.instrumentation_slowdown()
+        );
+        println!("\nreuse-distance histogram (weights normalized):");
+    }
+    print_histogram(profile.rd.as_histogram(), csv);
+
+    if want_mrc {
+        let mrc = profile.miss_ratio_curve();
+        println!("\nmiss-ratio curve (capacity in blocks):");
+        for cap in [1u64 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18, 1 << 21] {
+            println!("  {:>10} {:.4}", cap, mrc.miss_ratio(cap));
+        }
+    }
+
+    if want_exact {
+        let exact = ExactProfile::measure(
+            workload.stream(&params),
+            Granularity::WORD,
+            Binning::log2(),
+        );
+        let acc = histogram_intersection(profile.rd.as_histogram(), exact.rd.as_histogram())
+            .expect("same binning");
+        println!("\nexact (ground-truth) histogram:");
+        print_histogram(exact.rd.as_histogram(), csv);
+        println!("\naccuracy vs ground truth: {:.1}%", acc * 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_histogram(h: &Histogram, csv: bool) {
+    let n = h.normalized();
+    let sep = if csv { "," } else { "  " };
+    for b in n.buckets() {
+        let bar_len = (b.weight * 50.0).round() as usize;
+        if csv {
+            println!("{}{sep}{}{sep}{:.6}", b.range.lo, b.range.hi, b.weight);
+        } else {
+            println!(
+                "  [{:>10}, {:>10})  {:>7.3}%  {}",
+                b.range.lo,
+                b.range.hi,
+                b.weight * 100.0,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+    if n.infinite_weight() > 0.0 {
+        if csv {
+            println!("inf{sep}inf{sep}{:.6}", n.infinite_weight());
+        } else {
+            println!(
+                "  [{:>10}, {:>10})  {:>7.3}%  {}",
+                "cold",
+                "",
+                n.infinite_weight() * 100.0,
+                "#".repeat((n.infinite_weight() * 50.0).round() as usize)
+            );
+        }
+    }
+}

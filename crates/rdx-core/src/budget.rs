@@ -1,0 +1,118 @@
+//! Overhead-budgeted profiling — an extension beyond the paper.
+//!
+//! Production deployments think in overhead budgets ("spend at most 2 % of
+//! CPU on profiling"), not sampling periods. The cost model makes the
+//! period ↔ overhead relationship explicit, so the budget can be solved
+//! for directly: at period `P`, expected overhead is
+//!
+//! ```text
+//! ovh(P) ≈ (c_sample + r_trap · c_trap) / (P · c_access)
+//! ```
+//!
+//! where `r_trap` is the fraction of samples whose watchpoint traps
+//! (conservatively 1.0 — every sample may trap). Inverting for `P` yields
+//! the densest sampling that respects the budget, i.e. the best accuracy
+//! money can buy at that overhead.
+
+use crate::config::RdxConfig;
+use memsim::CostModel;
+
+/// Computes the smallest sampling period whose *worst-case* expected time
+/// overhead (every sample trapping) stays within `budget` (a fraction,
+/// e.g. `0.05` for 5 %).
+///
+/// # Panics
+///
+/// Panics if `budget` is not positive and finite.
+#[must_use]
+pub fn period_for_budget(cost: &CostModel, budget: f64) -> u64 {
+    assert!(
+        budget.is_finite() && budget > 0.0,
+        "overhead budget must be positive, got {budget}"
+    );
+    let per_sample = cost.cycles_per_sample + cost.cycles_per_trap;
+    let period = per_sample / (budget * cost.cycles_per_access);
+    (period.ceil() as u64).max(1)
+}
+
+/// Expected worst-case overhead at a given period under the cost model.
+#[must_use]
+pub fn overhead_at_period(cost: &CostModel, period: u64) -> f64 {
+    let per_sample = cost.cycles_per_sample + cost.cycles_per_trap;
+    per_sample / (period.max(1) as f64 * cost.cycles_per_access)
+}
+
+impl RdxConfig {
+    /// Configures the sampling period from an overhead budget instead of a
+    /// raw period: the densest sampling whose worst-case time overhead is
+    /// at most `budget`.
+    ///
+    /// ```
+    /// use rdx_core::RdxConfig;
+    ///
+    /// let config = RdxConfig::default().with_overhead_budget(0.05);
+    /// // the paper's 5% operating point lands near the 64Ki period
+    /// let p = config.machine.sampling.period;
+    /// assert!((32_768..=131_072).contains(&p), "period {p}");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not positive and finite.
+    #[must_use]
+    pub fn with_overhead_budget(self, budget: f64) -> Self {
+        let period = period_for_budget(&self.machine.cost, budget);
+        self.with_period(period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RdxRunner;
+    use rdx_trace::Trace;
+
+    #[test]
+    fn budget_round_trips_through_overhead() {
+        let cost = CostModel::default();
+        for budget in [0.01, 0.05, 0.20, 1.0] {
+            let p = period_for_budget(&cost, budget);
+            let ovh = overhead_at_period(&cost, p);
+            assert!(ovh <= budget * 1.001, "budget {budget}: period {p} → {ovh}");
+            // one step denser would bust the budget (within rounding)
+            if p > 2 {
+                let denser = overhead_at_period(&cost, p - 1);
+                assert!(denser >= budget * 0.99, "period not minimal: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn five_percent_budget_matches_paper_period() {
+        let p = period_for_budget(&CostModel::default(), 0.05);
+        // (6000+4000)/(0.05·3) ≈ 66667 — the 64Ki neighbourhood
+        assert!((60_000..75_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn measured_overhead_respects_budget() {
+        // worst-case trace: every sample traps immediately
+        let trace = Trace::from_addresses("hot", std::iter::repeat_n(0x40u64, 3_000_000));
+        for budget in [0.02, 0.10] {
+            let config = RdxConfig::default().with_overhead_budget(budget);
+            let profile = RdxRunner::new(config).profile(trace.stream());
+            assert!(
+                profile.time_overhead <= budget * 1.15,
+                "budget {budget}: measured {}",
+                profile.time_overhead
+            );
+            assert!(profile.samples > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_rejected() {
+        let _ = period_for_budget(&CostModel::default(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Reuse-time → reuse-distance conversion via sampled footprints.
+//!
+//! The conversion rests on the working-set identity (Denning's law, also
+//! derivable from Xiang et al.'s footprint theory): the average number of
+//! distinct blocks in a window of `w` consecutive accesses is
+//!
+//! ```text
+//! fp(w) = Σ_{j=0}^{w−1} P(reuse interval > j)
+//! ```
+//!
+//! where the reuse interval of an access is the index difference to the
+//! *next* access of the same block (∞ for last touches). The profiler's
+//! corrected sample distribution estimates exactly that survival function
+//! `S(j)`, so the curve needs **no** separate estimate of the distinct
+//! block count — sanity-check the identity on the classics:
+//!
+//! * pure cycle over `k` blocks: `S(j) = 1` for `j < k` ⇒ `fp(w) = w` ✓
+//! * uniform random over `N` blocks: `S(j) = (1−1/N)^j` ⇒
+//!   `fp(w) = N(1−(1−1/N)^w)`, the textbook distinct-count formula ✓
+//!
+//! The reuse distance of a pair with reuse time `t` (intervening-access
+//! convention) is then `d = fp(t+1) − 1`, HOTL's stack-distance relation
+//! shifted between conventions.
+
+use rdx_histogram::ReuseDistance;
+
+/// A footprint curve estimated from weighted sampled reuse intervals.
+///
+/// Piecewise linear with breakpoints at the observed interval lengths;
+/// queries cost one binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedFootprint {
+    n: u64,
+    /// Total interval mass (one interval per access; cold = ∞).
+    total: f64,
+    /// Breakpoints: sorted unique interval lengths (index-difference
+    /// convention), with `bps[0] = 0` sentinel.
+    bps: Vec<u64>,
+    /// `fp` value at each breakpoint (`fp(bps[i])`).
+    fp_at: Vec<f64>,
+    /// Survival S(j) for `j ∈ [bps[i], bps[i+1])`.
+    surv: Vec<f64>,
+}
+
+impl WeightedFootprint {
+    /// Builds the estimated footprint curve.
+    ///
+    /// * `n` — total accesses in the run (known exactly from the PMU).
+    /// * `cold_weight` — estimated number of accesses with no further
+    ///   reuse (infinite intervals); together with the pairs this should
+    ///   total ≈ `n`.
+    /// * `reuse_intervals` — `(reuse_time, weight)` pairs in the
+    ///   *intervening-accesses* convention, scaled to full-trace counts.
+    #[must_use]
+    pub fn from_sampled(n: u64, cold_weight: f64, reuse_intervals: &[(u64, f64)]) -> Self {
+        // Aggregate weights per index-difference length ℓ = t + 1.
+        let mut by_len: Vec<(u64, f64)> = reuse_intervals
+            .iter()
+            .filter(|&&(_, w)| w > 0.0)
+            .map(|&(t, w)| (t + 1, w))
+            .collect();
+        by_len.sort_unstable_by_key(|&(l, _)| l);
+        let finite: f64 = by_len.iter().map(|&(_, w)| w).sum();
+        let total = (finite + cold_weight.max(0.0)).max(f64::MIN_POSITIVE);
+
+        // Walk lengths in order, maintaining survival and the running fp
+        // integral Σ S(j).
+        let mut bps = vec![0u64];
+        let mut fp_at = vec![0.0f64];
+        let mut surv = Vec::new();
+        let mut remaining = total; // mass with interval length > current j
+        let mut s = remaining / total; // = 1.0
+        let mut i = 0;
+        while i < by_len.len() {
+            let l = by_len[i].0;
+            // fp grows linearly with slope `s` from the previous breakpoint
+            let prev_bp = *bps.last().expect("sentinel present");
+            let prev_fp = *fp_at.last().expect("sentinel present");
+            surv.push(s);
+            bps.push(l);
+            fp_at.push(prev_fp + s * (l - prev_bp) as f64);
+            // all intervals of length exactly l stop surviving at j = l
+            while i < by_len.len() && by_len[i].0 == l {
+                remaining -= by_len[i].1;
+                i += 1;
+            }
+            s = (remaining / total).max(0.0);
+        }
+        // beyond the last breakpoint the survivors are the cold mass
+        surv.push(s);
+        WeightedFootprint {
+            n,
+            total,
+            bps,
+            fp_at,
+            surv,
+        }
+    }
+
+    /// Estimated average distinct blocks in a window of `w` accesses.
+    /// Monotone and concave in `w` by construction.
+    #[must_use]
+    pub fn fp(&self, w: u64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let w = w.min(self.n);
+        // find the last breakpoint ≤ w
+        let i = self.bps.partition_point(|&b| b <= w) - 1;
+        self.fp_at[i] + self.surv[i] * (w - self.bps[i]) as f64
+    }
+
+    /// Converts one sampled reuse time (intervening convention) to an
+    /// estimated reuse distance: `d = fp(t+1) − 1`, clamped at 0.
+    #[must_use]
+    pub fn distance_of(&self, reuse_time: u64) -> ReuseDistance {
+        let d = (self.fp(reuse_time + 1) - 1.0).max(0.0);
+        ReuseDistance::finite(d.round() as u64)
+    }
+
+    /// The curve's saturation estimate: `fp` at the last observed interval
+    /// length (distinct blocks seen within the observable horizon).
+    #[must_use]
+    pub fn m_estimate(&self) -> f64 {
+        *self.fp_at.last().expect("sentinel present")
+    }
+
+    /// Approximate heap bytes held by the curve (overhead accounting).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.bps.capacity() * std::mem::size_of::<u64>()
+            + (self.fp_at.capacity() + self.surv.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Intervals of a cyclic trace over k blocks, length n: every reuse
+    /// interval is k (index difference), n−k pairs, k cold.
+    fn cyclic(n: u64, k: u64) -> WeightedFootprint {
+        WeightedFootprint::from_sampled(n, k as f64, &[(k - 1, (n - k) as f64)])
+    }
+
+    #[test]
+    fn cyclic_trace_recovers_distance() {
+        let fp = cyclic(10_000, 100);
+        // fp(w) = w up to the cycle length
+        for w in [1u64, 50, 100] {
+            assert!((fp.fp(w) - w as f64).abs() < 0.2, "fp({w}) = {}", fp.fp(w));
+        }
+        // reuse time 99 (intervening) → distance 99 in a pure cycle
+        assert_eq!(fp.distance_of(99).value().unwrap(), 99);
+    }
+
+    #[test]
+    fn immediate_reuse_distance_zero() {
+        let fp = WeightedFootprint::from_sampled(1000, 1.0, &[(0, 999.0)]);
+        assert_eq!(fp.distance_of(0).value().unwrap(), 0);
+    }
+
+    #[test]
+    fn uniform_random_matches_textbook_formula() {
+        // geometric reuse intervals over N blocks: S(j) = (1−1/N)^j.
+        let n = 1_000_000u64;
+        let big_n = 256.0f64;
+        let mut intervals = Vec::new();
+        let mut mass_left = n as f64;
+        for t in 0u64..6000 {
+            let p = (1.0 / big_n) * (1.0 - 1.0 / big_n).powi(t as i32);
+            let w = n as f64 * p;
+            intervals.push((t, w));
+            mass_left -= w;
+        }
+        let fp = WeightedFootprint::from_sampled(n, mass_left.max(0.0), &intervals);
+        for w in [1u64, 10, 100, 256, 1000] {
+            let expect = big_n * (1.0 - (1.0 - 1.0 / big_n).powi(w as i32));
+            let got = fp.fp(w);
+            assert!(
+                (got - expect).abs() < 0.05 * expect + 0.5,
+                "fp({w}) = {got}, textbook {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_monotone_and_concave() {
+        let fp = WeightedFootprint::from_sampled(
+            100_000,
+            500.0,
+            &[(0, 40_000.0), (10, 30_000.0), (500, 20_000.0), (5_000, 9_500.0)],
+        );
+        let mut last = 0.0;
+        let mut last_slope = f64::INFINITY;
+        let probes = [0u64, 1, 2, 5, 10, 100, 1000, 10_000, 100_000];
+        for win in probes.windows(2) {
+            let (a, b) = (win[0], win[1]);
+            let (fa, fb) = (fp.fp(a), fp.fp(b));
+            assert!(fb >= fa - 1e-9, "monotone");
+            let slope = (fb - fa) / (b - a) as f64;
+            assert!(slope <= last_slope + 1e-9, "concave");
+            last_slope = slope;
+            last = fb;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn fp_zero_window_is_zero() {
+        let fp = cyclic(1000, 10);
+        assert_eq!(fp.fp(0), 0.0);
+    }
+
+    #[test]
+    fn cold_mass_keeps_fp_growing() {
+        // with substantial cold mass, longer windows keep meeting new
+        // blocks: slope approaches cold fraction
+        let fp = WeightedFootprint::from_sampled(1000, 500.0, &[(0, 500.0)]);
+        let s = (fp.fp(200) - fp.fp(100)) / 100.0;
+        assert!((s - 0.5).abs() < 1e-9, "tail slope {s} = cold fraction");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let fp = WeightedFootprint::from_sampled(0, 0.0, &[]);
+        assert_eq!(fp.fp(0), 0.0);
+        assert_eq!(fp.fp(100), 0.0);
+        let fp2 = WeightedFootprint::from_sampled(100, 5.0, &[]);
+        assert!(fp2.fp(100) > 0.0, "cold mass alone still yields a curve");
+    }
+
+    #[test]
+    fn zero_weight_intervals_ignored() {
+        let a = WeightedFootprint::from_sampled(1000, 10.0, &[(5, 0.0), (7, 100.0)]);
+        let b = WeightedFootprint::from_sampled(1000, 10.0, &[(7, 100.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distance_monotone_in_reuse_time() {
+        let fp = WeightedFootprint::from_sampled(
+            50_000,
+            100.0,
+            &[(1, 20_000.0), (50, 20_000.0), (2_000, 9_900.0)],
+        );
+        let mut last = 0;
+        for t in [0u64, 1, 10, 100, 1000, 10_000] {
+            let d = fp.distance_of(t).value().unwrap();
+            assert!(d >= last, "distance must be monotone in time");
+            last = d;
+        }
+    }
+}

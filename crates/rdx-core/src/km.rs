@@ -1,0 +1,219 @@
+//! Kaplan–Meier survival estimation for watchpoint censoring.
+//!
+//! A sampled use–reuse interval is *observed* when the watchpoint traps, and
+//! *censored* when the watchpoint is evicted first (register pressure) or
+//! when the run ends. Evictions preferentially cut off long intervals, so
+//! discarding censored samples biases the reuse-time distribution short.
+//!
+//! The standard fix is inverse-probability-of-censoring weighting (IPCW):
+//! estimate the survival function `C(t)` of the *eviction* process with the
+//! Kaplan–Meier estimator (roles swapped: evictions are events, traps are
+//! censorings of the eviction process), then weight each observed interval
+//! of length `t` by `1 / C(t)` — the inverse of the probability that a
+//! sample survived eviction long enough to be observed at all.
+
+/// One observation of the eviction process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Interval duration in accesses (time from arm to trap/evict/end).
+    pub duration: u64,
+    /// True if the watchpoint was *evicted* at `duration` (an event of the
+    /// eviction process); false if it trapped or the run ended (censored).
+    pub evicted: bool,
+}
+
+/// A Kaplan–Meier estimate of the eviction-survival function `C(t)`:
+/// the probability that a watchpoint stays armed (not evicted) beyond `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    /// Event times in increasing order.
+    times: Vec<u64>,
+    /// Survival value *at and after* the corresponding time (until the next).
+    surv: Vec<f64>,
+    /// Lower clamp applied by [`KaplanMeier::inverse_weight`].
+    floor: f64,
+}
+
+impl KaplanMeier {
+    /// Smallest survival value used when inverting; caps the weight any
+    /// single observation can receive at 1/floor = 100×.
+    pub const DEFAULT_FLOOR: f64 = 0.01;
+
+    /// Fits the estimator from observations.
+    ///
+    /// With no eviction events the survival function is identically 1 and
+    /// IPCW weights are all 1 (no correction necessary).
+    #[must_use]
+    pub fn fit(observations: &[Observation]) -> KaplanMeier {
+        Self::fit_guarded(observations, 1)
+    }
+
+    /// Fits the estimator, freezing the curve once fewer than
+    /// `min_at_risk` observations remain at risk.
+    ///
+    /// The unguarded Kaplan–Meier tail is dominated by its last handful of
+    /// observations — in particular, if the single longest observation is
+    /// an event, the survival estimate collapses to exactly 0. When the
+    /// residual mass `S(t_max)` is itself the quantity of interest (the
+    /// profiler's cold-fraction estimate), that collapse turns one sample's
+    /// luck into a 0%-vs-several-percent swing; the guard trades a little
+    /// bias for bounded variance.
+    #[must_use]
+    pub fn fit_guarded(observations: &[Observation], min_at_risk: usize) -> KaplanMeier {
+        let mut obs: Vec<Observation> = observations.to_vec();
+        // At equal durations, censorings are conventionally processed after
+        // events; sorting events first achieves that.
+        obs.sort_by_key(|o| (o.duration, !o.evicted));
+        let mut times = Vec::new();
+        let mut surv = Vec::new();
+        let mut at_risk = obs.len() as f64;
+        let mut s = 1.0;
+        let mut i = 0;
+        while i < obs.len() {
+            let t = obs[i].duration;
+            let mut events = 0usize;
+            let mut total = 0usize;
+            while i < obs.len() && obs[i].duration == t {
+                if obs[i].evicted {
+                    events += 1;
+                }
+                total += 1;
+                i += 1;
+            }
+            if events > 0 && at_risk >= min_at_risk as f64 {
+                s *= 1.0 - events as f64 / at_risk;
+                times.push(t);
+                surv.push(s.max(0.0));
+            }
+            at_risk -= total as f64;
+        }
+        KaplanMeier {
+            times,
+            surv,
+            floor: Self::DEFAULT_FLOOR,
+        }
+    }
+
+    /// `C(t)`: probability of remaining unevicted *beyond* duration `t`.
+    #[must_use]
+    pub fn survival(&self, t: u64) -> f64 {
+        match self.times.partition_point(|&x| x <= t) {
+            0 => 1.0,
+            i => self.surv[i - 1],
+        }
+    }
+
+    /// The IPCW weight for an interval observed (trapped) at duration `t`:
+    /// `1 / max(C(t⁻), floor)`. `C` is evaluated just *before* `t` because
+    /// the sample only needed to avoid eviction strictly before its trap.
+    #[must_use]
+    pub fn inverse_weight(&self, t: u64) -> f64 {
+        let c = self.survival(t.saturating_sub(1));
+        1.0 / c.max(self.floor)
+    }
+
+    /// Returns true if no eviction events were observed (identity weights).
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(u64, bool)]) -> Vec<Observation> {
+        pairs
+            .iter()
+            .map(|&(duration, evicted)| Observation { duration, evicted })
+            .collect()
+    }
+
+    #[test]
+    fn no_evictions_is_trivial() {
+        let km = KaplanMeier::fit(&obs(&[(5, false), (10, false)]));
+        assert!(km.is_trivial());
+        assert_eq!(km.survival(0), 1.0);
+        assert_eq!(km.survival(100), 1.0);
+        assert_eq!(km.inverse_weight(7), 1.0);
+    }
+
+    #[test]
+    fn single_eviction_halves_survival() {
+        // two samples, one evicted at 10, one trapped at 20:
+        // at t=10 both at risk, 1 event → S = 0.5 afterwards
+        let km = KaplanMeier::fit(&obs(&[(10, true), (20, false)]));
+        assert_eq!(km.survival(9), 1.0);
+        assert!((km.survival(10) - 0.5).abs() < 1e-12);
+        assert!((km.survival(100) - 0.5).abs() < 1e-12);
+        // a trap at 20 was at risk of the eviction at 10 → weight 2
+        assert!((km.inverse_weight(20) - 2.0).abs() < 1e-12);
+        // a trap at 5 preceded all evictions → weight 1
+        assert!((km.inverse_weight(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_evicted_survival_zero_but_weights_capped() {
+        let km = KaplanMeier::fit(&obs(&[(1, true), (2, true), (3, true)]));
+        assert!(km.survival(3) < 1e-12);
+        let w = km.inverse_weight(10);
+        assert!((w - 1.0 / KaplanMeier::DEFAULT_FLOOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_monotone_nonincreasing() {
+        let km = KaplanMeier::fit(&obs(&[
+            (3, true),
+            (5, false),
+            (7, true),
+            (7, false),
+            (9, true),
+            (12, false),
+        ]));
+        let mut last = 1.0;
+        for t in 0..20u64 {
+            let s = km.survival(t);
+            assert!(s <= last + 1e-12, "S must be non-increasing at {t}");
+            assert!((0.0..=1.0).contains(&s));
+            last = s;
+        }
+    }
+
+    #[test]
+    fn classic_km_worked_example() {
+        // Durations: events at 6 (3 of them), 10; censored at 6, 9, 11.
+        // At-risk starts at 6.
+        // t=6: events=3 of 6 at risk (censored-at-6 counted at risk) → S=0.5
+        // t=10: at risk = 6−4(at 6)−1(at 9) = ... censored at 9 leaves 1 fewer
+        let km = KaplanMeier::fit(&obs(&[
+            (6, true),
+            (6, true),
+            (6, true),
+            (6, false),
+            (9, false),
+            (10, true),
+            (11, false),
+        ]));
+        assert!((km.survival(6) - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+        let s6 = 1.0 - 3.0 / 7.0;
+        // after t=6 removals (4), and censor at 9 (1): at risk at 10 is 2
+        let s10 = s6 * (1.0 - 1.0 / 2.0);
+        assert!((km.survival(10) - s10).abs() < 1e-12, "{}", km.survival(10));
+    }
+
+    #[test]
+    fn ties_events_before_censorings() {
+        // event and censoring both at t=5: censoring is still at risk for
+        // the event → survival = 1 − 1/2
+        let km = KaplanMeier::fit(&obs(&[(5, true), (5, false)]));
+        assert!((km.survival(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fit() {
+        let km = KaplanMeier::fit(&[]);
+        assert!(km.is_trivial());
+        assert_eq!(km.survival(42), 1.0);
+    }
+}

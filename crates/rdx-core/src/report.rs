@@ -1,0 +1,132 @@
+//! The profiler's output: histograms plus overhead accounting.
+
+use memsim::cost::CostModel;
+use rdx_histogram::{MissRatioCurve, RdHistogram, RtHistogram};
+use rdx_trace::Granularity;
+
+/// The result of one RDX profiling run.
+///
+/// Histogram weights are scaled to the full run: the total weight of both
+/// histograms equals the number of accesses executed (every access has one
+/// reuse time/distance, with first-touches in the cold bucket), so profiles
+/// are directly comparable to exhaustive ground truth.
+#[derive(Debug, Clone)]
+pub struct RdxProfile {
+    /// Estimated reuse-distance histogram — the paper's deliverable.
+    pub rd: RdHistogram,
+    /// Sampled reuse-time histogram (intervening-accesses convention).
+    pub rt: RtHistogram,
+    /// Granularity the profile was taken at.
+    pub granularity: Granularity,
+    /// Total accesses executed.
+    pub accesses: u64,
+    /// PMU samples delivered.
+    pub samples: u64,
+    /// Debug traps delivered (completed use–reuse pairs).
+    pub traps: u64,
+    /// Watchpoints evicted under register pressure (censored intervals).
+    pub evictions: u64,
+    /// Watchpoints still armed at the end of the run (cold candidates).
+    pub end_censored: u64,
+    /// Samples dropped by the [`DropNew`] policy.
+    ///
+    /// [`DropNew`]: crate::ReplacementPolicy::DropNew
+    pub dropped_samples: u64,
+    /// Samples skipped because their address was already watched.
+    pub duplicate_samples: u64,
+    /// Estimated distinct-block count (anchors the cold bucket).
+    pub m_estimate: f64,
+    /// Fractional runtime overhead of profiling (from the cost model).
+    pub time_overhead: f64,
+    /// Total profiler memory in bytes: fixed runtime + dynamic state.
+    pub profiler_bytes: u64,
+    /// The cost model used for the overhead numbers.
+    pub cost: CostModel,
+}
+
+impl RdxProfile {
+    /// Fractional memory overhead relative to an application footprint of
+    /// `app_bytes` (profiler memory / application memory).
+    #[must_use]
+    pub fn memory_overhead(&self, app_bytes: u64) -> f64 {
+        if app_bytes == 0 {
+            return 0.0;
+        }
+        self.profiler_bytes as f64 / app_bytes as f64
+    }
+
+    /// Slowdown an exhaustive instrumentation tool would incur on the same
+    /// run, per the cost model — the paper's contrast number.
+    #[must_use]
+    pub fn instrumentation_slowdown(&self) -> f64 {
+        (self.cost.cycles_per_access + self.cost.cycles_per_instrumented_access)
+            / self.cost.cycles_per_access
+    }
+
+    /// The LRU miss-ratio curve implied by the estimated histogram.
+    #[must_use]
+    pub fn miss_ratio_curve(&self) -> MissRatioCurve {
+        MissRatioCurve::from_rd_histogram(&self.rd)
+    }
+
+    /// Fraction of accesses estimated to be cold (first touches).
+    #[must_use]
+    pub fn cold_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.m_estimate / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_histogram::Binning;
+
+    fn dummy() -> RdxProfile {
+        RdxProfile {
+            rd: RdHistogram::new(Binning::log2()),
+            rt: RtHistogram::new(Binning::log2()),
+            granularity: Granularity::WORD,
+            accesses: 1000,
+            samples: 10,
+            traps: 8,
+            evictions: 1,
+            end_censored: 1,
+            dropped_samples: 0,
+            duplicate_samples: 0,
+            m_estimate: 100.0,
+            time_overhead: 0.05,
+            profiler_bytes: 1 << 20,
+            cost: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn memory_overhead_ratio() {
+        let p = dummy();
+        assert!((p.memory_overhead(16 << 20) - 1.0 / 16.0).abs() < 1e-12);
+        assert_eq!(p.memory_overhead(0), 0.0);
+    }
+
+    #[test]
+    fn instrumentation_contrast_is_large() {
+        let p = dummy();
+        assert!(p.instrumentation_slowdown() > 50.0);
+    }
+
+    #[test]
+    fn cold_fraction_from_m() {
+        let p = dummy();
+        assert!((p.cold_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrc_from_empty_profile_is_all_miss() {
+        let p = dummy();
+        let mrc = p.miss_ratio_curve();
+        assert_eq!(mrc.miss_ratio(1 << 20), 1.0);
+    }
+}

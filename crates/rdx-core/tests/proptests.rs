@@ -1,0 +1,57 @@
+//! Property tests for the profiler pipeline: mass conservation, bounded
+//! estimates, and Kaplan–Meier sanity under arbitrary observations.
+
+use proptest::prelude::*;
+use rdx_core::km::{KaplanMeier, Observation};
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_trace::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any trace, the profile's histogram mass equals the access
+    /// count, the cold estimate is within [0, n], and overheads are
+    /// non-negative.
+    #[test]
+    fn profile_mass_and_bounds(
+        addrs in prop::collection::vec(0u64..256, 200..3000),
+        period in 20u64..300,
+    ) {
+        let trace = Trace::from_addresses("p", addrs.iter().map(|a| a * 8));
+        let profile = RdxRunner::new(RdxConfig::default().with_period(period))
+            .profile(trace.stream());
+        let n = profile.accesses as f64;
+        if profile.samples == 0 {
+            // a run shorter than one sampling period observes nothing —
+            // the histogram is honestly empty rather than fabricated
+            prop_assert_eq!(profile.rd.total_weight(), 0.0);
+        } else {
+            prop_assert!((profile.rd.total_weight() - n).abs() < 1e-6 * n.max(1.0));
+            prop_assert!((profile.rt.total_weight() - n).abs() < 1e-6 * n.max(1.0));
+        }
+        prop_assert!(profile.m_estimate >= 0.0 && profile.m_estimate <= n + 1e-9);
+        prop_assert!(profile.time_overhead >= 0.0);
+        prop_assert!(profile.profiler_bytes > 0);
+    }
+
+    /// Kaplan–Meier survival is in [0,1], non-increasing, and IPCW weights
+    /// are ≥ 1 and capped by the floor.
+    #[test]
+    fn km_shape(obs in prop::collection::vec((1u64..1000, any::<bool>()), 0..200)) {
+        let observations: Vec<Observation> = obs
+            .iter()
+            .map(|&(duration, evicted)| Observation { duration, evicted })
+            .collect();
+        let km = KaplanMeier::fit(&observations);
+        let mut last = 1.0f64;
+        for t in (0..1100).step_by(37) {
+            let s = km.survival(t);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= last + 1e-12);
+            last = s;
+            let w = km.inverse_weight(t);
+            prop_assert!(w >= 1.0 - 1e-12);
+            prop_assert!(w <= 1.0 / KaplanMeier::DEFAULT_FLOOR + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Exhaustive ("ground truth") reuse-distance measurement.
+//!
+//! This crate implements the classic exact algorithms that the RDX paper
+//! treats as ground truth and as the overhead strawman: every access is
+//! observed, a hash map tracks each block's previous access time, and an
+//! order-statistic structure counts how many *distinct* blocks were touched
+//! in between (Olken's algorithm).
+//!
+//! Three interchangeable order-statistic structures are provided, all
+//! implementing [`DistanceStructure`]:
+//!
+//! * [`FenwickStructure`] — a Fenwick (binary indexed) tree over access
+//!   timestamps; the fastest here and the crate default.
+//! * [`TreapStructure`] — a randomized order-statistic treap.
+//! * [`SplayStructure`] — the splay tree used by Olken's original
+//!   formulation and most instrumentation-based tools.
+//!
+//! They are property-tested against each other and against an O(n²)
+//! brute-force oracle ([`brute_force_rd`]).
+//!
+//! On top of the per-access tracker, [`exact`] offers whole-stream drivers
+//! producing exact reuse-distance and reuse-time histograms, and
+//! [`footprint`] computes exact average-footprint curves (Xiang et al.'s
+//! linear-time formula), which the RDX conversion in `rdx-core` relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use rdx_groundtruth::OlkenTracker;
+//! use rdx_histogram::ReuseDistance;
+//!
+//! let mut olken = OlkenTracker::new();
+//! assert_eq!(olken.access(7), ReuseDistance::INFINITE); // cold
+//! assert_eq!(olken.access(8), ReuseDistance::INFINITE); // cold
+//! assert_eq!(olken.access(7), ReuseDistance::finite(1)); // one distinct block (8) in between
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod footprint;
+mod olken;
+mod structure;
+
+pub use exact::{brute_force_rd, ExactProfile};
+pub use footprint::FootprintCurve;
+pub use olken::OlkenTracker;
+pub use structure::{DistanceStructure, FenwickStructure, SplayStructure, TreapStructure};

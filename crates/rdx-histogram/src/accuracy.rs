@@ -1,0 +1,229 @@
+//! Accuracy metrics for comparing an estimated histogram against ground
+//! truth.
+//!
+//! The RDX paper reports accuracy as the *histogram intersection* between the
+//! normalized estimated and ground-truth reuse-distance histograms:
+//!
+//! ```text
+//! accuracy = Σ_b min(est_b, gt_b)      (both normalized to 1)
+//! ```
+//!
+//! which is 1.0 for identical distributions and 0.0 for disjoint ones. The
+//! abstract's ">90% accuracy" claim refers to this metric. We additionally
+//! provide total-variation distance (its complement), a symmetric
+//! Kullback–Leibler-style divergence, and bucket-wise relative error, used in
+//! the ablation experiments.
+
+use crate::hist::{BinningMismatch, Histogram};
+
+/// Histogram intersection of the two *normalized* histograms, in `[0, 1]`.
+///
+/// The infinite (cold) buckets participate like any other bucket. Two empty
+/// histograms are defined to have accuracy 1.0 (they are identical); an
+/// empty vs. non-empty pair has accuracy 0.0.
+///
+/// # Errors
+///
+/// Returns an error if the binnings differ.
+pub fn histogram_intersection(a: &Histogram, b: &Histogram) -> Result<f64, BinningMismatch> {
+    check_binning(a, b)?;
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return Ok(1.0),
+        (true, false) | (false, true) => return Ok(0.0),
+        _ => {}
+    }
+    let an = a.normalized();
+    let bn = b.normalized();
+    let max_len = an.bucket_len().max(bn.bucket_len());
+    let mut acc = 0.0;
+    for i in 0..max_len {
+        acc += an.weight_at(i).min(bn.weight_at(i));
+    }
+    acc += an.infinite_weight().min(bn.infinite_weight());
+    Ok(acc.clamp(0.0, 1.0))
+}
+
+/// Total-variation distance between normalized histograms: `1 − intersection`.
+///
+/// # Errors
+///
+/// Returns an error if the binnings differ.
+pub fn total_variation(a: &Histogram, b: &Histogram) -> Result<f64, BinningMismatch> {
+    Ok(1.0 - histogram_intersection(a, b)?)
+}
+
+/// Symmetrized, smoothed KL divergence (Jensen–Shannon-style) between the
+/// normalized histograms, in nats. Returns 0.0 for identical distributions.
+///
+/// # Errors
+///
+/// Returns an error if the binnings differ.
+pub fn jensen_shannon(a: &Histogram, b: &Histogram) -> Result<f64, BinningMismatch> {
+    check_binning(a, b)?;
+    if a.is_empty() && b.is_empty() {
+        return Ok(0.0);
+    }
+    let an = a.normalized();
+    let bn = b.normalized();
+    let max_len = an.bucket_len().max(bn.bucket_len());
+    let mut js = 0.0;
+    let mut accum = |p: f64, q: f64| {
+        let m = 0.5 * (p + q);
+        if p > 0.0 {
+            js += 0.5 * p * (p / m).ln();
+        }
+        if q > 0.0 {
+            js += 0.5 * q * (q / m).ln();
+        }
+    };
+    for i in 0..max_len {
+        accum(an.weight_at(i), bn.weight_at(i));
+    }
+    accum(an.infinite_weight(), bn.infinite_weight());
+    Ok(js.max(0.0))
+}
+
+/// Mean absolute bucket-wise error between the normalized histograms,
+/// averaged over buckets where either histogram has weight.
+///
+/// # Errors
+///
+/// Returns an error if the binnings differ.
+pub fn mean_bucket_error(a: &Histogram, b: &Histogram) -> Result<f64, BinningMismatch> {
+    check_binning(a, b)?;
+    let an = a.normalized();
+    let bn = b.normalized();
+    let max_len = an.bucket_len().max(bn.bucket_len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..max_len {
+        let (p, q) = (an.weight_at(i), bn.weight_at(i));
+        if p > 0.0 || q > 0.0 {
+            sum += (p - q).abs();
+            n += 1;
+        }
+    }
+    let (p, q) = (an.infinite_weight(), bn.infinite_weight());
+    if p > 0.0 || q > 0.0 {
+        sum += (p - q).abs();
+        n += 1;
+    }
+    Ok(if n == 0 { 0.0 } else { sum / n as f64 })
+}
+
+fn check_binning(a: &Histogram, b: &Histogram) -> Result<(), BinningMismatch> {
+    if a.binning() != b.binning() {
+        return Err(BinningMismatch {
+            left: a.binning(),
+            right: b.binning(),
+        });
+    }
+    Ok(())
+}
+
+/// Geometric mean of a slice of positive values; returns `None` if the slice
+/// is empty or contains non-positive values. Used for the paper's geo-mean
+/// accuracy/overhead summaries.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::Binning;
+
+    fn h(pairs: &[(u64, f64)], inf: f64) -> Histogram {
+        let mut hist = Histogram::new(Binning::log2());
+        for &(v, w) in pairs {
+            hist.record(v, w);
+        }
+        if inf > 0.0 {
+            hist.record_infinite(inf);
+        }
+        hist
+    }
+
+    #[test]
+    fn identical_histograms_full_accuracy() {
+        let a = h(&[(1, 2.0), (100, 3.0)], 1.0);
+        assert!((histogram_intersection(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!(total_variation(&a, &a).unwrap() < 1e-12);
+        assert!(jensen_shannon(&a, &a).unwrap() < 1e-12);
+        assert!(mean_bucket_error(&a, &a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_histograms_identical_shape() {
+        let a = h(&[(1, 2.0), (100, 3.0)], 0.0);
+        let mut b = a.clone();
+        b.scale(7.5);
+        assert!((histogram_intersection(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_histograms_zero_accuracy() {
+        let a = h(&[(1, 1.0)], 0.0);
+        let b = h(&[(1 << 20, 1.0)], 0.0);
+        assert!(histogram_intersection(&a, &b).unwrap() < 1e-12);
+        assert!((total_variation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_bucket_participates() {
+        let a = h(&[], 1.0);
+        let b = h(&[(5, 1.0)], 0.0);
+        assert!(histogram_intersection(&a, &b).unwrap() < 1e-12);
+        let c = h(&[], 2.0);
+        assert!((histogram_intersection(&a, &c).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // a: half at 1, half at 100 ; b: all at 1 → intersection = 0.5 + 0 = 0.5
+        let a = h(&[(1, 1.0), (100, 1.0)], 0.0);
+        let b = h(&[(1, 2.0)], 0.0);
+        let acc = histogram_intersection(&a, &b).unwrap();
+        assert!((acc - 0.5).abs() < 1e-12, "acc={acc}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = Histogram::new(Binning::log2());
+        let a = h(&[(1, 1.0)], 0.0);
+        assert_eq!(histogram_intersection(&e, &e).unwrap(), 1.0);
+        assert_eq!(histogram_intersection(&e, &a).unwrap(), 0.0);
+        assert_eq!(jensen_shannon(&e, &e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn binning_mismatch_detected() {
+        let a = Histogram::new(Binning::log2());
+        let b = Histogram::new(Binning::linear(4));
+        assert!(histogram_intersection(&a, &b).is_err());
+        assert!(jensen_shannon(&a, &b).is_err());
+        assert!(mean_bucket_error(&a, &b).is_err());
+    }
+
+    #[test]
+    fn js_bounded_by_ln2() {
+        let a = h(&[(1, 1.0)], 0.0);
+        let b = h(&[(1 << 30, 1.0)], 0.0);
+        let js = jensen_shannon(&a, &b).unwrap();
+        assert!(js <= std::f64::consts::LN_2 + 1e-12);
+        assert!(js > 0.5);
+    }
+
+    #[test]
+    fn geo_mean() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

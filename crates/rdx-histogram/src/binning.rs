@@ -1,0 +1,299 @@
+//! Bucketing schemes mapping `u64` values to bucket indices.
+
+use serde::{Deserialize, Serialize};
+
+/// A bucketing scheme over the `u64` domain.
+///
+/// Reuse distances span many orders of magnitude (from a handful of cache
+/// lines to billions), so the default scheme used throughout this workspace
+/// is power-of-two buckets ([`Binning::log2`]), optionally refined with
+/// sub-buckets per octave ([`Binning::log2_sub`]) when higher resolution is
+/// needed (e.g. for miss-ratio curves around cache-size boundaries).
+///
+/// Two histograms can only be compared or merged when they share the same
+/// `Binning`; all combining operations check this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Binning {
+    /// Fixed-width buckets: value `v` maps to bucket `v / width`.
+    Linear {
+        /// Width of each bucket; must be non-zero.
+        width: u64,
+    },
+    /// Power-of-two buckets with `subs` sub-buckets per octave.
+    ///
+    /// Bucket 0 holds the value 0. Values in `[2^o, 2^(o+1))` are split into
+    /// `subs` equal sub-buckets. With `subs == 1` this is plain log2
+    /// bucketing: `{0}, {1}, {2,3}, {4..7}, {8..15}, ...`.
+    Log2 {
+        /// Sub-buckets per octave; must be non-zero.
+        subs: u32,
+    },
+}
+
+/// The half-open value range `[lo, hi)` covered by one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BucketRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound (`u64::MAX` means "unbounded above").
+    pub hi: u64,
+}
+
+impl BucketRange {
+    /// Returns a representative value for the bucket (its geometric-ish
+    /// midpoint), used when a single point value must stand in for the
+    /// bucket, e.g. when converting a histogram through a function.
+    #[must_use]
+    pub fn representative(&self) -> u64 {
+        if self.hi == u64::MAX || self.hi <= self.lo {
+            return self.lo;
+        }
+        // midpoint of [lo, hi)
+        self.lo + (self.hi - 1 - self.lo) / 2
+    }
+
+    /// Returns true if `v` falls within this bucket.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        v >= self.lo && (self.hi == u64::MAX || v < self.hi)
+    }
+}
+
+impl Default for Binning {
+    fn default() -> Self {
+        Binning::log2()
+    }
+}
+
+impl Binning {
+    /// Plain power-of-two bucketing (one bucket per octave).
+    #[must_use]
+    pub fn log2() -> Self {
+        Binning::Log2 { subs: 1 }
+    }
+
+    /// Power-of-two bucketing with `subs` sub-buckets per octave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs == 0`.
+    #[must_use]
+    pub fn log2_sub(subs: u32) -> Self {
+        assert!(subs > 0, "sub-bucket count must be non-zero");
+        Binning::Log2 { subs }
+    }
+
+    /// Fixed-width bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn linear(width: u64) -> Self {
+        assert!(width > 0, "bucket width must be non-zero");
+        Binning::Linear { width }
+    }
+
+    /// Maps a value to its bucket index.
+    #[must_use]
+    pub fn index_of(&self, v: u64) -> usize {
+        match *self {
+            Binning::Linear { width } => (v / width) as usize,
+            Binning::Log2 { subs } => {
+                if v == 0 {
+                    return 0;
+                }
+                let octave = 63 - v.leading_zeros();
+                if octave == 0 {
+                    // v == 1: the second bucket, before sub-bucketing kicks in.
+                    return 1;
+                }
+                let base = 1u64 << octave;
+                // Sub-bucket within [2^o, 2^(o+1)); use 128-bit arithmetic so
+                // that octave 63 cannot overflow.
+                let off = ((v - base) as u128 * subs as u128 >> octave) as usize;
+                // Buckets: 0 -> {0}, 1 -> {1}, then octaves 1.. each with
+                // `subs` sub-buckets.
+                2 + (octave as usize - 1) * subs as usize + off.min(subs as usize - 1)
+            }
+        }
+    }
+
+    /// Returns the value range covered by bucket `idx`.
+    ///
+    /// The returned range is empty-free: every bucket index produced by
+    /// [`Binning::index_of`] has a non-empty range, but very fine
+    /// sub-bucketings may contain indices whose range rounds to a single
+    /// value shared with a neighbour; callers should rely on `index_of` as
+    /// the source of truth for membership.
+    #[must_use]
+    pub fn range_of(&self, idx: usize) -> BucketRange {
+        match *self {
+            Binning::Linear { width } => {
+                let lo = (idx as u64).saturating_mul(width);
+                let hi = lo.saturating_add(width);
+                BucketRange { lo, hi }
+            }
+            Binning::Log2 { subs } => {
+                if idx == 0 {
+                    return BucketRange { lo: 0, hi: 1 };
+                }
+                if idx == 1 {
+                    return BucketRange { lo: 1, hi: 2 };
+                }
+                let rel = idx - 2;
+                let octave = rel / subs as usize + 1;
+                let sub = (rel % subs as usize) as u64;
+                if octave >= 64 {
+                    return BucketRange {
+                        lo: u64::MAX,
+                        hi: u64::MAX,
+                    };
+                }
+                let base = 1u64 << octave;
+                // `index_of` maps v to sub-bucket floor((v-base)·subs/base),
+                // so the smallest value in sub-bucket s is
+                // base + ceil(s·base/subs); use ceiling division to match.
+                let ceil_div = |num: u128, den: u128| ((num + den - 1) / den) as u64;
+                let lo = base + ceil_div(base as u128 * sub as u128, subs as u128);
+                let hi = if sub as u32 + 1 == subs {
+                    base.saturating_mul(2)
+                } else {
+                    base + ceil_div(base as u128 * (sub as u128 + 1), subs as u128)
+                };
+                BucketRange { lo, hi }
+            }
+        }
+    }
+
+    /// Number of buckets needed to cover values up to and including `max`.
+    #[must_use]
+    pub fn bucket_count_for(&self, max: u64) -> usize {
+        self.index_of(max) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index() {
+        let b = Binning::linear(10);
+        assert_eq!(b.index_of(0), 0);
+        assert_eq!(b.index_of(9), 0);
+        assert_eq!(b.index_of(10), 1);
+        assert_eq!(b.index_of(99), 9);
+        assert_eq!(b.index_of(100), 10);
+    }
+
+    #[test]
+    fn linear_range_roundtrip() {
+        let b = Binning::linear(7);
+        for v in 0..1000u64 {
+            let idx = b.index_of(v);
+            let r = b.range_of(idx);
+            assert!(r.contains(v), "v={v} idx={idx} r={r:?}");
+        }
+    }
+
+    #[test]
+    fn log2_small_values() {
+        let b = Binning::log2();
+        assert_eq!(b.index_of(0), 0);
+        assert_eq!(b.index_of(1), 1);
+        assert_eq!(b.index_of(2), 2);
+        assert_eq!(b.index_of(3), 2);
+        assert_eq!(b.index_of(4), 3);
+        assert_eq!(b.index_of(7), 3);
+        assert_eq!(b.index_of(8), 4);
+        assert_eq!(b.index_of(1023), 10);
+        assert_eq!(b.index_of(1024), 11);
+    }
+
+    #[test]
+    fn log2_range_roundtrip() {
+        let b = Binning::log2();
+        for v in 0..5000u64 {
+            let idx = b.index_of(v);
+            let r = b.range_of(idx);
+            assert!(r.contains(v), "v={v} idx={idx} r={r:?}");
+        }
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            let idx = b.index_of(v);
+            assert!(b.range_of(idx).contains(v));
+            let v2 = v.wrapping_sub(1);
+            let idx2 = b.index_of(v2);
+            assert!(b.range_of(idx2).contains(v2));
+        }
+    }
+
+    #[test]
+    fn log2_sub_roundtrip() {
+        for subs in [2u32, 3, 4, 8] {
+            let b = Binning::log2_sub(subs);
+            for v in 0..4096u64 {
+                let idx = b.index_of(v);
+                let r = b.range_of(idx);
+                assert!(r.contains(v), "subs={subs} v={v} idx={idx} r={r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn log2_sub_monotone() {
+        let b = Binning::log2_sub(4);
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let idx = b.index_of(v);
+            assert!(idx >= last, "index must be monotone in value");
+            // In small octaves (width < subs), some sub-buckets are empty and
+            // get skipped; any skipped bucket must cover no values.
+            for skipped in last + 1..idx {
+                let r = b.range_of(skipped);
+                assert!(r.hi <= r.lo, "skipped bucket {skipped} is non-empty: {r:?}");
+            }
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn log2_huge_values() {
+        let b = Binning::log2();
+        let idx = b.index_of(u64::MAX);
+        assert!(b.range_of(idx).contains(u64::MAX));
+        assert_eq!(idx, 64);
+    }
+
+    #[test]
+    fn representative_in_range() {
+        let b = Binning::log2_sub(4);
+        for idx in 0..60 {
+            let r = b.range_of(idx);
+            if r.hi != u64::MAX && r.hi > r.lo {
+                assert!(r.contains(r.representative()), "idx={idx} r={r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_count() {
+        let b = Binning::log2();
+        assert_eq!(b.bucket_count_for(0), 1);
+        assert_eq!(b.bucket_count_for(1), 2);
+        assert_eq!(b.bucket_count_for(1024), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = Binning::linear(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_subs_panics() {
+        let _ = Binning::log2_sub(0);
+    }
+}

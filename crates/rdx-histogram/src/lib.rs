@@ -1,0 +1,45 @@
+//! Histograms and derived locality metrics for reuse-distance analysis.
+//!
+//! This crate provides the numeric backbone of the RDX reproduction:
+//!
+//! * [`Binning`] — configurable bucketing schemes (linear, power-of-two,
+//!   power-of-two with sub-buckets) over the `u64` domain, plus a dedicated
+//!   *cold* (infinite) bucket for accesses that are never reused.
+//! * [`Histogram`] — a weighted histogram over a [`Binning`]; weights are
+//!   `f64` so that sampled observations can carry their statistical weight
+//!   (one RDX sample represents `period` real accesses).
+//! * [`RdHistogram`] / [`RtHistogram`] — newtype wrappers distinguishing
+//!   reuse-*distance* histograms from reuse-*time* histograms. Confusing the
+//!   two is the classic bug in sampling-based locality tools, so the type
+//!   system keeps them apart.
+//! * [`accuracy`] — the paper's histogram-intersection accuracy metric plus
+//!   auxiliary divergences used in the evaluation.
+//! * [`mrc`] — LRU miss-ratio curves derived from reuse-distance histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use rdx_histogram::{Binning, RdHistogram, ReuseDistance};
+//!
+//! let mut h = RdHistogram::new(Binning::log2());
+//! h.record(ReuseDistance::finite(3), 1.0);
+//! h.record(ReuseDistance::finite(100), 2.0);
+//! h.record(ReuseDistance::INFINITE, 1.0); // a cold access
+//! assert_eq!(h.total_weight(), 4.0);
+//! assert_eq!(h.cold_weight(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod binning;
+mod hist;
+pub mod mrc;
+mod reuse;
+pub mod stats;
+
+pub use binning::{Binning, BucketRange};
+pub use hist::{Bucket, Histogram};
+pub use mrc::MissRatioCurve;
+pub use reuse::{RdHistogram, ReuseDistance, ReuseTime, RtHistogram};

@@ -1,0 +1,222 @@
+//! LRU miss-ratio curves derived from reuse-distance histograms.
+//!
+//! For a fully-associative LRU cache of capacity `c` (counted in the same
+//! granularity as the reuse distances, e.g. cache lines), an access with
+//! reuse distance `d` hits iff `d < c`; cold accesses always miss. The miss
+//! ratio at capacity `c` is therefore the tail weight of the reuse-distance
+//! distribution at `c` plus the cold fraction — the classic Mattson stack
+//! result that makes reuse distance the machine-independent locality metric.
+
+use crate::hist::Histogram;
+use crate::reuse::RdHistogram;
+use serde::{Deserialize, Serialize};
+
+/// An LRU miss-ratio curve, derived from a reuse-distance histogram.
+///
+/// The curve is stored as the cumulative *hit* weight below each bucket
+/// boundary of the source histogram; queries interpolate within buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// `(capacity, miss_ratio)` breakpoints in increasing capacity order.
+    points: Vec<(u64, f64)>,
+    /// Miss ratio at infinite capacity (cold-miss floor).
+    floor: f64,
+}
+
+impl MissRatioCurve {
+    /// Builds the miss-ratio curve implied by a reuse-distance histogram.
+    ///
+    /// An empty histogram yields the degenerate curve with miss ratio 1.0
+    /// everywhere (no information ⇒ assume all misses), matching how a
+    /// cache behaves before any access is observed.
+    #[must_use]
+    pub fn from_rd_histogram(rd: &RdHistogram) -> Self {
+        Self::from_histogram(rd.as_histogram())
+    }
+
+    /// Builds the curve from a raw histogram whose finite values are reuse
+    /// distances and whose infinite bucket is the cold weight.
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let total = h.total_weight();
+        if total == 0.0 {
+            return MissRatioCurve {
+                points: vec![(0, 1.0)],
+                floor: 1.0,
+            };
+        }
+        let mut points = Vec::new();
+        // Miss ratio at capacity 0: everything misses.
+        points.push((0u64, 1.0));
+        let mut hits = 0.0;
+        for b in h.buckets() {
+            // All accesses in bucket [lo, hi) hit once capacity exceeds their
+            // distance. At capacity hi, the whole bucket hits.
+            hits += b.weight;
+            let cap = if b.range.hi == u64::MAX {
+                u64::MAX
+            } else {
+                b.range.hi
+            };
+            points.push((cap, 1.0 - hits / total));
+        }
+        let floor = h.infinite_weight() / total;
+        MissRatioCurve { points, floor }
+    }
+
+    /// Miss ratio for an LRU cache of `capacity` distinct elements.
+    ///
+    /// Linearly interpolates between breakpoints, which corresponds to
+    /// assuming uniform weight within each histogram bucket.
+    #[must_use]
+    pub fn miss_ratio(&self, capacity: u64) -> f64 {
+        match self
+            .points
+            .binary_search_by_key(&capacity, |&(cap, _)| cap)
+        {
+            Ok(i) => self.points[i].1,
+            Err(0) => 1.0,
+            Err(i) if i == self.points.len() => self.floor,
+            Err(i) => {
+                let (c0, m0) = self.points[i - 1];
+                let (c1, m1) = self.points[i];
+                let t = (capacity - c0) as f64 / (c1 - c0) as f64;
+                m0 + (m1 - m0) * t
+            }
+        }
+    }
+
+    /// The cold-miss floor: miss ratio with unbounded capacity.
+    #[must_use]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// The breakpoints `(capacity, miss_ratio)` of the curve.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Smallest breakpoint capacity whose miss ratio is at or below
+    /// `target`. Returns `None` if even unbounded capacity cannot reach it
+    /// (i.e. `target < floor`).
+    #[must_use]
+    pub fn capacity_for_miss_ratio(&self, target: f64) -> Option<u64> {
+        if target < self.floor {
+            return None;
+        }
+        self.points
+            .iter()
+            .find(|&&(_, m)| m <= target)
+            .map(|&(c, _)| c)
+    }
+
+    /// Samples the curve at the given capacities, returning
+    /// `(capacity, miss_ratio)` pairs. Convenient for printing figure series.
+    #[must_use]
+    pub fn sample(&self, capacities: &[u64]) -> Vec<(u64, f64)> {
+        capacities
+            .iter()
+            .map(|&c| (c, self.miss_ratio(c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::Binning;
+    use crate::reuse::ReuseDistance;
+
+    fn rd(pairs: &[(u64, f64)], cold: f64) -> RdHistogram {
+        let mut h = RdHistogram::new(Binning::log2());
+        for &(v, w) in pairs {
+            h.record(ReuseDistance::finite(v), w);
+        }
+        if cold > 0.0 {
+            h.record(ReuseDistance::INFINITE, cold);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_all_misses() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[], 0.0));
+        assert_eq!(mrc.miss_ratio(0), 1.0);
+        assert_eq!(mrc.miss_ratio(1 << 30), 1.0);
+        assert_eq!(mrc.floor(), 1.0);
+    }
+
+    #[test]
+    fn all_cold_never_hits() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[], 10.0));
+        assert_eq!(mrc.miss_ratio(1 << 20), 1.0);
+        assert_eq!(mrc.floor(), 1.0);
+    }
+
+    #[test]
+    fn single_distance_step() {
+        // All reuses at distance 4 (bucket [4,8)): misses below, hits at 8+.
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[(4, 1.0)], 0.0));
+        assert_eq!(mrc.miss_ratio(0), 1.0);
+        assert!((mrc.miss_ratio(8) - 0.0).abs() < 1e-12);
+        assert_eq!(mrc.floor(), 0.0);
+    }
+
+    #[test]
+    fn cold_fraction_sets_floor() {
+        // Half the accesses cold → floor 0.5.
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[(2, 1.0)], 1.0));
+        assert!((mrc.floor() - 0.5).abs() < 1e-12);
+        assert!((mrc.miss_ratio(1 << 20) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(
+            &[(1, 3.0), (10, 2.0), (100, 4.0), (10_000, 1.0)],
+            2.0,
+        ));
+        let mut last = f64::INFINITY;
+        for c in [0u64, 1, 2, 4, 16, 64, 128, 1024, 16_384, 1 << 20] {
+            let m = mrc.miss_ratio(c);
+            assert!(m <= last + 1e-12, "mrc must be non-increasing at {c}");
+            assert!((0.0..=1.0).contains(&m));
+            last = m;
+        }
+    }
+
+    #[test]
+    fn capacity_for_target() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[(10, 1.0), (1000, 1.0)], 0.0));
+        // need capacity covering bucket of 10 ([8,16) → cap 16) for mr<=0.5
+        assert_eq!(mrc.capacity_for_miss_ratio(0.5), Some(16));
+        assert_eq!(mrc.capacity_for_miss_ratio(1.0), Some(0));
+        assert!(mrc.capacity_for_miss_ratio(0.0).is_some());
+        let with_cold = MissRatioCurve::from_rd_histogram(&rd(&[(10, 1.0)], 1.0));
+        assert_eq!(with_cold.capacity_for_miss_ratio(0.1), None);
+    }
+
+    #[test]
+    fn interpolation_within_bucket() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[(1024, 1.0)], 0.0));
+        // bucket [1024, 2048): miss ratio decreases linearly from cap 1024→2048
+        let lo = mrc.miss_ratio(1024);
+        let mid = mrc.miss_ratio(1536);
+        let hi = mrc.miss_ratio(2048);
+        assert!(lo > mid && mid > hi);
+        assert!((hi - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_matches_queries() {
+        let mrc = MissRatioCurve::from_rd_histogram(&rd(&[(5, 1.0), (500, 1.0)], 0.0));
+        let caps = [0u64, 8, 512, 1024];
+        let s = mrc.sample(&caps);
+        for (i, &(c, m)) in s.iter().enumerate() {
+            assert_eq!(c, caps[i]);
+            assert_eq!(m, mrc.miss_ratio(c));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Newtypes distinguishing reuse *distance* from reuse *time*.
+
+use crate::binning::Binning;
+use crate::hist::{BinningMismatch, Histogram};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reuse distance: the number of *distinct* memory locations accessed
+/// between two consecutive accesses to the same location, or infinite for a
+/// location that is never accessed again (cold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReuseDistance(Option<u64>);
+
+/// A reuse time (time distance): the number of memory accesses (distinct or
+/// not) between two consecutive accesses to the same location, or infinite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReuseTime(Option<u64>);
+
+macro_rules! reuse_newtype_impl {
+    ($ty:ident, $name:literal) => {
+        impl $ty {
+            /// The infinite value (no reuse observed).
+            pub const INFINITE: $ty = $ty(None);
+
+            /// Constructs a finite value.
+            #[must_use]
+            pub fn finite(v: u64) -> $ty {
+                $ty(Some(v))
+            }
+
+            /// Returns the finite value, or `None` if infinite.
+            #[must_use]
+            pub fn value(self) -> Option<u64> {
+                self.0
+            }
+
+            /// Returns true if this value is infinite (cold).
+            #[must_use]
+            pub fn is_infinite(self) -> bool {
+                self.0.is_none()
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(v: u64) -> $ty {
+                $ty::finite(v)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Some(v) => write!(f, "{v}"),
+                    None => write!(f, "inf"),
+                }
+            }
+        }
+    };
+}
+
+reuse_newtype_impl!(ReuseDistance, "reuse distance");
+reuse_newtype_impl!(ReuseTime, "reuse time");
+
+macro_rules! reuse_histogram_impl {
+    ($hist:ident, $value:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub struct $hist(Histogram);
+
+        impl $hist {
+            /// Creates an empty histogram with the given binning.
+            #[must_use]
+            pub fn new(binning: Binning) -> Self {
+                $hist(Histogram::new(binning))
+            }
+
+            /// Records one observation with the given statistical weight.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `weight` is negative or not finite.
+            pub fn record(&mut self, v: $value, weight: f64) {
+                match v.value() {
+                    Some(x) => self.0.record(x, weight),
+                    None => self.0.record_infinite(weight),
+                }
+            }
+
+            /// Shared access to the underlying raw histogram.
+            #[must_use]
+            pub fn as_histogram(&self) -> &Histogram {
+                &self.0
+            }
+
+            /// Mutable access to the underlying raw histogram.
+            #[must_use]
+            pub fn as_histogram_mut(&mut self) -> &mut Histogram {
+                &mut self.0
+            }
+
+            /// Consumes the wrapper, returning the raw histogram.
+            #[must_use]
+            pub fn into_histogram(self) -> Histogram {
+                self.0
+            }
+
+            /// Total recorded weight including the cold bucket.
+            #[must_use]
+            pub fn total_weight(&self) -> f64 {
+                self.0.total_weight()
+            }
+
+            /// Weight in the cold (infinite) bucket.
+            #[must_use]
+            pub fn cold_weight(&self) -> f64 {
+                self.0.infinite_weight()
+            }
+
+            /// Merges another histogram of the same kind.
+            ///
+            /// # Errors
+            ///
+            /// Returns an error if the binnings differ.
+            pub fn merge(&mut self, other: &$hist) -> Result<(), BinningMismatch> {
+                self.0.merge(&other.0)
+            }
+        }
+
+        impl From<Histogram> for $hist {
+            fn from(h: Histogram) -> Self {
+                $hist(h)
+            }
+        }
+
+        impl Default for $hist {
+            fn default() -> Self {
+                Self::new(Binning::default())
+            }
+        }
+    };
+}
+
+reuse_histogram_impl!(
+    RdHistogram,
+    ReuseDistance,
+    "A weighted histogram of reuse *distances*.\n\n\
+     This is the deliverable of the RDX profiler and of ground-truth\n\
+     measurement; miss-ratio curves are derived from it."
+);
+reuse_histogram_impl!(
+    RtHistogram,
+    ReuseTime,
+    "A weighted histogram of reuse *times* (time distances).\n\n\
+     This is what the hardware mechanism (PMU sample + debug-register trap)\n\
+     can observe directly; RDX converts it to an [`RdHistogram`] via\n\
+     footprint theory."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtype_basics() {
+        let d = ReuseDistance::finite(7);
+        assert_eq!(d.value(), Some(7));
+        assert!(!d.is_infinite());
+        assert!(ReuseDistance::INFINITE.is_infinite());
+        assert_eq!(format!("{d}"), "7");
+        assert_eq!(format!("{}", ReuseTime::INFINITE), "inf");
+        assert_eq!(ReuseTime::from(3u64), ReuseTime::finite(3));
+    }
+
+    #[test]
+    fn ordering_places_infinite_last() {
+        let mut v = vec![
+            ReuseDistance::INFINITE,
+            ReuseDistance::finite(10),
+            ReuseDistance::finite(2),
+        ];
+        v.sort();
+        // Option<u64> ordering puts None first; verify our expectation and
+        // document it: INFINITE sorts *before* finite values.
+        assert_eq!(v[0], ReuseDistance::INFINITE);
+        assert_eq!(v[1], ReuseDistance::finite(2));
+    }
+
+    #[test]
+    fn rd_histogram_records_cold() {
+        let mut h = RdHistogram::new(Binning::log2());
+        h.record(ReuseDistance::finite(5), 2.0);
+        h.record(ReuseDistance::INFINITE, 1.0);
+        assert_eq!(h.total_weight(), 3.0);
+        assert_eq!(h.cold_weight(), 1.0);
+        assert_eq!(h.as_histogram().weight_for(5), 2.0);
+    }
+
+    #[test]
+    fn rt_histogram_merge() {
+        let mut a = RtHistogram::new(Binning::log2());
+        let mut b = RtHistogram::new(Binning::log2());
+        a.record(ReuseTime::finite(100), 1.0);
+        b.record(ReuseTime::finite(100), 3.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.as_histogram().weight_for(100), 4.0);
+    }
+
+    #[test]
+    fn default_histograms_empty() {
+        assert_eq!(RdHistogram::default().total_weight(), 0.0);
+        assert_eq!(RtHistogram::default().total_weight(), 0.0);
+    }
+
+    #[test]
+    fn into_histogram_roundtrip() {
+        let mut h = RdHistogram::new(Binning::log2());
+        h.record(ReuseDistance::finite(9), 1.0);
+        let raw = h.clone().into_histogram();
+        let back = RdHistogram::from(raw);
+        assert_eq!(back, h);
+    }
+}

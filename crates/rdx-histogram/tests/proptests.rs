@@ -1,0 +1,100 @@
+//! Property tests for binning, histograms and miss-ratio curves.
+
+use proptest::prelude::*;
+use rdx_histogram::{Binning, Histogram, MissRatioCurve, RdHistogram, ReuseDistance};
+
+fn arb_binning() -> impl Strategy<Value = Binning> {
+    prop_oneof![
+        (1u64..1000).prop_map(Binning::linear),
+        (1u32..9).prop_map(Binning::log2_sub),
+    ]
+}
+
+proptest! {
+    /// Every value falls inside the range of its own bucket, and bucket
+    /// indices are monotone in the value.
+    #[test]
+    fn binning_roundtrip_and_monotone(binning in arb_binning(), values in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut last_idx = 0usize;
+        for (i, &v) in sorted.iter().enumerate() {
+            let idx = binning.index_of(v);
+            prop_assert!(binning.range_of(idx).contains(v), "v={} idx={}", v, idx);
+            if i > 0 {
+                prop_assert!(idx >= last_idx);
+            }
+            last_idx = idx;
+        }
+    }
+
+    /// Total weight is conserved by merging and scaled exactly by scale().
+    #[test]
+    fn weight_conservation(
+        a in prop::collection::vec((any::<u64>(), 0.0f64..100.0), 0..50),
+        b in prop::collection::vec((any::<u64>(), 0.0f64..100.0), 0..50),
+        factor in 0.0f64..10.0,
+    ) {
+        let build = |pairs: &[(u64, f64)]| {
+            let mut h = Histogram::new(Binning::log2());
+            for &(v, w) in pairs {
+                h.record(v, w);
+            }
+            h
+        };
+        let ha = build(&a);
+        let hb = build(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb).unwrap();
+        prop_assert!((merged.total_weight() - (ha.total_weight() + hb.total_weight())).abs() < 1e-6);
+        let mut scaled = ha.clone();
+        scaled.scale(factor);
+        prop_assert!((scaled.total_weight() - ha.total_weight() * factor).abs() < 1e-6);
+    }
+
+    /// The CDF is monotone and normalized histograms sum to one.
+    #[test]
+    fn cdf_monotone_and_normalized(values in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut h = Histogram::new(Binning::log2());
+        for &v in &values {
+            h.record(v, 1.0);
+        }
+        let n = h.normalized();
+        prop_assert!((n.total_weight() - 1.0).abs() < 1e-9);
+        let mut last = 0.0;
+        for probe in [0u64, 1, 10, 100, 1000, 100_000, u64::MAX / 2] {
+            let c = h.cdf_at(probe);
+            prop_assert!(c >= last - 1e-9);
+            prop_assert!(c <= 1.0 + 1e-9);
+            last = c;
+        }
+    }
+
+    /// Miss-ratio curves from arbitrary rd histograms are monotone
+    /// non-increasing with the cold fraction as their floor.
+    #[test]
+    fn mrc_shape(
+        finite in prop::collection::vec((0u64..100_000, 0.1f64..10.0), 0..40),
+        cold in 0.0f64..50.0,
+    ) {
+        let mut rd = RdHistogram::new(Binning::log2());
+        for &(d, w) in &finite {
+            rd.record(ReuseDistance::finite(d), w);
+        }
+        if cold > 0.0 {
+            rd.record(ReuseDistance::INFINITE, cold);
+        }
+        let mrc = MissRatioCurve::from_rd_histogram(&rd);
+        let mut last = 1.0 + 1e-9;
+        for cap in [0u64, 1, 2, 8, 64, 512, 4096, 65_536, 1 << 20] {
+            let m = mrc.miss_ratio(cap);
+            prop_assert!(m <= last + 1e-9);
+            prop_assert!(m >= mrc.floor() - 1e-9);
+            last = m;
+        }
+        let total = rd.total_weight();
+        if total > 0.0 {
+            prop_assert!((mrc.floor() - cold / total).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The event vocabulary: addresses, access kinds, granularities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte-granular virtual memory address.
+///
+/// Addresses are plain `u64`s wrapped for type safety; reuse-distance
+/// analysis regularly mixes byte addresses, word indices and cache-line
+/// numbers, and the wrapper plus [`Granularity`] keep those apart.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte address.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// The raw byte address.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Maps this byte address to its block number at the given granularity.
+    #[must_use]
+    pub fn block(self, granularity: Granularity) -> u64 {
+        self.0 >> granularity.shift()
+    }
+
+    /// Returns the address advanced by `bytes` (saturating).
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Address {
+        Address(self.0.saturating_add(bytes))
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A memory load.
+    Load,
+    /// A memory store.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns true for [`AccessKind::Store`].
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// One memory access event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// The byte address accessed.
+    pub addr: Address,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a load.
+    #[must_use]
+    pub fn load(addr: impl Into<Address>) -> Self {
+        Access {
+            addr: addr.into(),
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Convenience constructor for a store.
+    #[must_use]
+    pub fn store(addr: impl Into<Address>) -> Self {
+        Access {
+            addr: addr.into(),
+            kind: AccessKind::Store,
+        }
+    }
+}
+
+/// The granularity at which reuse distance is measured.
+///
+/// The paper measures at cache-line (data block) granularity; measuring at
+/// byte or word granularity yields different histograms, so the granularity
+/// travels with every profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Granularity {
+    shift: u32,
+}
+
+impl Granularity {
+    /// Byte granularity (block size 1).
+    pub const BYTE: Granularity = Granularity { shift: 0 };
+    /// 8-byte word granularity.
+    pub const WORD: Granularity = Granularity { shift: 3 };
+    /// 64-byte cache-line granularity — the paper's default.
+    pub const CACHE_LINE: Granularity = Granularity { shift: 6 };
+    /// 4 KiB page granularity.
+    pub const PAGE: Granularity = Granularity { shift: 12 };
+
+    /// Creates a granularity from a power-of-two block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or not a power of two.
+    #[must_use]
+    pub fn from_block_bytes(block_bytes: u64) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a non-zero power of two, got {block_bytes}"
+        );
+        Granularity {
+            shift: block_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The block size in bytes.
+    #[must_use]
+    pub fn block_bytes(self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// The right-shift applied to byte addresses.
+    #[must_use]
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+}
+
+impl Default for Granularity {
+    fn default() -> Self {
+        Granularity::CACHE_LINE
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.block_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_block_mapping() {
+        let a = Address::new(0x1047);
+        assert_eq!(a.block(Granularity::BYTE), 0x1047);
+        assert_eq!(a.block(Granularity::CACHE_LINE), 0x41);
+        assert_eq!(a.block(Granularity::PAGE), 0x1);
+        assert_eq!(a.offset(0x19).raw(), 0x1060);
+    }
+
+    #[test]
+    fn address_display() {
+        assert_eq!(Address::new(0xff).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Address::new(0xff)), "ff");
+    }
+
+    #[test]
+    fn granularity_block_bytes() {
+        assert_eq!(Granularity::BYTE.block_bytes(), 1);
+        assert_eq!(Granularity::WORD.block_bytes(), 8);
+        assert_eq!(Granularity::CACHE_LINE.block_bytes(), 64);
+        assert_eq!(Granularity::PAGE.block_bytes(), 4096);
+        assert_eq!(Granularity::from_block_bytes(32).block_bytes(), 32);
+        assert_eq!(Granularity::default(), Granularity::CACHE_LINE);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn granularity_rejects_non_power_of_two() {
+        let _ = Granularity::from_block_bytes(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn granularity_rejects_zero() {
+        let _ = Granularity::from_block_bytes(0);
+    }
+
+    #[test]
+    fn access_constructors() {
+        let l = Access::load(0x10u64);
+        assert_eq!(l.kind, AccessKind::Load);
+        assert!(!l.kind.is_store());
+        let s = Access::store(0x20u64);
+        assert!(s.kind.is_store());
+        assert_eq!(s.addr, Address::new(0x20));
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+
+    #[test]
+    fn address_offset_saturates() {
+        let a = Address::new(u64::MAX - 1);
+        assert_eq!(a.offset(100).raw(), u64::MAX);
+    }
+}

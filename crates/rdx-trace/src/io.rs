@@ -1,0 +1,296 @@
+//! Binary trace serialization.
+//!
+//! Format (`RDXT` version 1), little-endian throughout:
+//!
+//! ```text
+//! magic    [u8; 4]  = b"RDXT"
+//! version  u32      = 1
+//! name_len u32
+//! name     [u8; name_len] (UTF-8)
+//! count    u64
+//! records  count × record
+//! ```
+//!
+//! Each record is a LEB128-style varint of `zigzag(addr_delta) << 1 | kind`,
+//! where `addr_delta` is the signed difference from the previous address.
+//! Regular strides compress to 1–2 bytes per access, which matters for
+//! multi-hundred-million access traces.
+
+use crate::event::{Access, AccessKind, Address};
+use crate::trace::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"RDXT";
+const VERSION: u32 = 1;
+
+/// Errors produced by trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the `RDXT` magic.
+    BadMagic,
+    /// The input has an unsupported format version.
+    BadVersion(u32),
+    /// The input ended before the declared record count was read, or a
+    /// varint was malformed.
+    Truncated,
+    /// The embedded name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Truncated => write!(f, "trace file truncated or corrupt"),
+            TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u128, TraceIoError> {
+    let mut v = 0u128;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(TraceIoError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 128 {
+            return Err(TraceIoError::Truncated);
+        }
+        v |= u128::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes a trace into bytes.
+#[must_use]
+pub fn to_bytes(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(trace.len() * 2 + 64);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let name = trace.name().as_bytes();
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_u64_le(trace.len() as u64);
+    let mut prev: u64 = 0;
+    for a in trace.iter() {
+        let delta = a.addr.raw().wrapping_sub(prev) as i64;
+        prev = a.addr.raw();
+        let kind_bit = u128::from(a.kind.is_store());
+        // The zigzagged delta needs the full 64 bits for |delta| ≥ 2^62,
+        // so the kind bit pushes the record into u128 varint territory.
+        put_varint(&mut buf, (u128::from(zigzag(delta)) << 1) | kind_bit);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from bytes.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] if the input is not a valid version-1 trace.
+pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Trace, TraceIoError> {
+    let mut buf: Bytes = bytes.into();
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    if buf.remaining() < 4 {
+        return Err(TraceIoError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    if buf.remaining() < 4 {
+        return Err(TraceIoError::Truncated);
+    }
+    let name_len = buf.get_u32_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(TraceIoError::Truncated);
+    }
+    let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        .map_err(|_| TraceIoError::BadName)?;
+    if buf.remaining() < 8 {
+        return Err(TraceIoError::Truncated);
+    }
+    let count = buf.get_u64_le();
+    let mut trace = Trace::new(name);
+    let mut prev: u64 = 0;
+    for _ in 0..count {
+        let raw = get_varint(&mut buf)?;
+        let kind = if raw & 1 == 1 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let delta = unzigzag((raw >> 1) as u64);
+        let addr = prev.wrapping_add(delta as u64);
+        prev = addr;
+        trace.push(Access {
+            addr: Address::new(addr),
+            kind,
+        });
+    }
+    Ok(trace)
+}
+
+/// Writes a trace to any [`Write`] sink (a `&mut W` also works).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(&to_bytes(trace))?;
+    Ok(())
+}
+
+/// Reads a trace from any [`Read`] source (a `&mut R` also works).
+///
+/// # Errors
+///
+/// Propagates I/O errors and format errors.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    from_bytes(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t: Trace = [
+            (0x1000u64, false),
+            (0x1040, true),
+            (0x0008, false), // backwards jump exercises signed deltas
+            (0xdead_beef_0000, true),
+            (0xdead_beef_0000, false),
+        ]
+        .into_iter()
+        .collect();
+        t.push(Access::load(u64::MAX));
+        t
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let t = Trace::from_stream("roundtrip", sample_trace().stream());
+        let b = to_bytes(&t);
+        let t2 = from_bytes(b).unwrap();
+        assert_eq!(t2.name(), "roundtrip");
+        assert_eq!(t.accesses(), t2.accesses());
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let t = Trace::new("empty");
+        let t2 = from_bytes(to_bytes(&t)).unwrap();
+        assert_eq!(t2.name(), "empty");
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_via_io() {
+        let t = Trace::from_addresses("io", (0..1000u64).map(|i| i * 64));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let t2 = read_trace(&buf[..]).unwrap();
+        assert_eq!(t.accesses(), t2.accesses());
+    }
+
+    #[test]
+    fn strided_trace_compresses() {
+        let t = Trace::from_addresses("s", (0..10_000u64).map(|i| i * 64));
+        let b = to_bytes(&t);
+        // 64-byte stride zigzags to 128, shifted once more -> 2-byte varints.
+        assert!(b.len() < 10_000 * 3, "got {} bytes", b.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(&b"NOPE00000000"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let t = Trace::new("v");
+        let mut raw = to_bytes(&t).to_vec();
+        raw[4] = 99;
+        let err = from_bytes(raw).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let t = Trace::from_addresses("t", [1u64, 2, 3]);
+        let raw = to_bytes(&t);
+        for cut in 1..raw.len() {
+            let sliced = raw.slice(..cut);
+            assert!(
+                from_bytes(sliced).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(TraceIoError::BadMagic.to_string().contains("magic"));
+        assert!(TraceIoError::Truncated.to_string().contains("truncated"));
+        assert!(TraceIoError::BadVersion(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,41 @@
+//! Memory access traces: the common currency of this workspace.
+//!
+//! Every component — the simulated machine, the RDX profiler, ground-truth
+//! measurement, the baselines and the cache models — consumes a stream of
+//! [`Access`]es. This crate defines:
+//!
+//! * [`Address`] / [`AccessKind`] / [`Access`] — the event vocabulary.
+//! * [`AccessStream`] — a pull-based stream of accesses, so that
+//!   billion-access workloads never need to be materialized; [`Trace`] is the
+//!   materialized form used by tests and small experiments.
+//! * [`Granularity`] — byte ↔ cache-line ↔ word address mapping. Reuse
+//!   distance is measured at a chosen granularity (the paper uses cache
+//!   lines, a.k.a. data blocks of 64 bytes).
+//! * [`io`] — a compact binary trace format (magic + version header,
+//!   delta-encoded addresses) for persisting traces.
+//! * [`TraceStats`] — single-pass summary statistics of a stream.
+//!
+//! # Example
+//!
+//! ```
+//! use rdx_trace::{Access, AccessKind, AccessStream, Address, Trace};
+//!
+//! let trace = Trace::from_addresses("demo", [0x1000u64, 0x1040, 0x1000]);
+//! let mut stream = trace.stream();
+//! assert_eq!(stream.next_access().unwrap().addr, Address::new(0x1000));
+//! assert_eq!(trace.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod io;
+mod stats;
+mod stream;
+mod trace;
+
+pub use event::{Access, AccessKind, Address, Granularity};
+pub use stats::TraceStats;
+pub use stream::{AccessStream, FnStream, Take};
+pub use trace::{Trace, TraceStream};

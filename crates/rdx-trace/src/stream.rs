@@ -1,0 +1,202 @@
+//! Pull-based access streams.
+
+use crate::event::Access;
+
+/// A pull-based stream of memory accesses.
+///
+/// This is the interface every trace producer (workload generators, trace
+/// files, replayers) implements and every consumer (the simulated machine,
+/// ground-truth measurement, baselines) drives. It is deliberately not
+/// `Iterator`: streams are commonly trait objects threaded through the
+/// machine model, and the narrower contract (no `size_hint`, no adapter zoo)
+/// keeps implementations simple. Use [`AccessStream::by_ref`]-style mutable
+/// borrows to compose, and [`iter`](AccessStream::iter) to bridge into
+/// iterator land when convenient.
+pub trait AccessStream {
+    /// Produces the next access, or `None` when the workload has finished.
+    fn next_access(&mut self) -> Option<Access>;
+
+    /// A lower/upper bound on remaining accesses, if cheaply known.
+    ///
+    /// Used only for progress reporting and preallocation; `None` means
+    /// unknown.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Caps the stream at `n` accesses.
+    fn take(self, n: u64) -> Take<Self>
+    where
+        Self: Sized,
+    {
+        Take {
+            inner: self,
+            left: n,
+        }
+    }
+
+    /// Bridges this stream into a standard [`Iterator`].
+    fn iter(&mut self) -> Iter<'_, Self>
+    where
+        Self: Sized,
+    {
+        Iter { stream: self }
+    }
+
+    /// Drains the stream, counting accesses. Useful in tests.
+    fn count_remaining(&mut self) -> u64 {
+        let mut n = 0;
+        while self.next_access().is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<S: AccessStream + ?Sized> AccessStream for &mut S {
+    fn next_access(&mut self) -> Option<Access> {
+        (**self).next_access()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
+    fn next_access(&mut self) -> Option<Access> {
+        (**self).next_access()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+/// Stream adapter limiting the number of accesses; created by
+/// [`AccessStream::take`].
+#[derive(Debug, Clone)]
+pub struct Take<S> {
+    inner: S,
+    left: u64,
+}
+
+impl<S: AccessStream> AccessStream for Take<S> {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.left == 0 {
+            return None;
+        }
+        let a = self.inner.next_access()?;
+        self.left -= 1;
+        Some(a)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match self.inner.remaining_hint() {
+            Some(r) => Some(r.min(self.left)),
+            None => Some(self.left),
+        }
+    }
+}
+
+/// Iterator bridge over a borrowed stream; created by
+/// [`AccessStream::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, S> {
+    stream: &'a mut S,
+}
+
+impl<S: AccessStream> Iterator for Iter<'_, S> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        self.stream.next_access()
+    }
+}
+
+/// An [`AccessStream`] produced by a closure; handy in tests and examples.
+///
+/// The closure is called once per access and returns `None` to finish.
+pub struct FnStream<F>(F);
+
+impl<F: FnMut() -> Option<Access>> FnStream<F> {
+    /// Wraps a closure as a stream.
+    pub fn new(f: F) -> Self {
+        FnStream(f)
+    }
+}
+
+impl<F: FnMut() -> Option<Access>> AccessStream for FnStream<F> {
+    fn next_access(&mut self) -> Option<Access> {
+        (self.0)()
+    }
+}
+
+impl<F> std::fmt::Debug for FnStream<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnStream(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Access;
+
+    fn counting_stream(n: u64) -> impl AccessStream {
+        let mut i = 0;
+        FnStream::new(move || {
+            if i < n {
+                i += 1;
+                Some(Access::load(i * 64))
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn fn_stream_produces() {
+        let mut s = counting_stream(3);
+        assert_eq!(s.next_access().unwrap().addr.raw(), 64);
+        assert_eq!(s.next_access().unwrap().addr.raw(), 128);
+        assert_eq!(s.next_access().unwrap().addr.raw(), 192);
+        assert!(s.next_access().is_none());
+        // streams are fused by construction here
+        assert!(s.next_access().is_none());
+    }
+
+    #[test]
+    fn take_caps_stream() {
+        let mut s = counting_stream(100).take(5);
+        assert_eq!(s.remaining_hint(), Some(5));
+        assert_eq!(s.count_remaining(), 5);
+        assert_eq!(s.remaining_hint(), Some(0));
+        assert!(s.next_access().is_none());
+    }
+
+    #[test]
+    fn take_shorter_stream() {
+        let mut s = counting_stream(2).take(10);
+        assert_eq!(s.count_remaining(), 2);
+    }
+
+    #[test]
+    fn iter_bridge() {
+        let mut s = counting_stream(4);
+        let addrs: Vec<u64> = s.iter().map(|a| a.addr.raw()).collect();
+        assert_eq!(addrs, vec![64, 128, 192, 256]);
+    }
+
+    #[test]
+    fn stream_through_mut_ref_and_box() {
+        let mut s = counting_stream(3);
+        {
+            // &mut S forwards the trait implementation
+            let r: &mut dyn AccessStream = &mut s;
+            assert!(r.next_access().is_some());
+        }
+        let mut b: Box<dyn AccessStream> = Box::new(s);
+        assert_eq!(b.count_remaining(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload sizing parameters.
+
+/// Sizing parameters shared by every kernel.
+///
+/// `elements` is the nominal data footprint in 8-byte elements; each kernel
+/// partitions it among its arrays (a kernel never touches more than
+/// `elements` distinct elements). `accesses` is exact: every stream yields
+/// precisely that many accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    /// Exact number of accesses the stream will produce.
+    pub accesses: u64,
+    /// Nominal footprint in 8-byte elements.
+    pub elements: u64,
+    /// RNG seed; all randomness in a kernel derives from it.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    /// One million accesses over 60 000 elements (≈469 KiB), seed 42 —
+    /// small enough for tests, large enough to exercise multi-level reuse.
+    /// The element count is deliberately *not* a power of two: pure-cycle
+    /// kernels would otherwise place every reuse distance exactly on a
+    /// power-of-two histogram bucket edge, where a fraction-of-a-percent
+    /// estimation bias flips the bucket and histogram-intersection metrics
+    /// collapse despite a near-perfect estimate.
+    fn default() -> Self {
+        Params {
+            accesses: 1_000_000,
+            elements: 60_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Params {
+    /// Sets the access count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is zero.
+    #[must_use]
+    pub fn with_accesses(mut self, accesses: u64) -> Self {
+        assert!(accesses > 0, "access count must be non-zero");
+        self.accesses = accesses;
+        self
+    }
+
+    /// Sets the nominal element footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is zero.
+    #[must_use]
+    pub fn with_elements(mut self, elements: u64) -> Self {
+        assert!(elements > 0, "element count must be non-zero");
+        self.elements = elements;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Nominal footprint in bytes (8 bytes per element).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.elements * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let p = Params::default()
+            .with_accesses(5)
+            .with_elements(7)
+            .with_seed(9);
+        assert_eq!(p.accesses, 5);
+        assert_eq!(p.elements, 7);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.footprint_bytes(), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_accesses_rejected() {
+        let _ = Params::default().with_accesses(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_elements_rejected() {
+        let _ = Params::default().with_elements(0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Continuous locality monitoring of a long-running service — the
+//! deployment scenario the paper targets ("long-running, production
+//! applications"): profile in epochs at negligible overhead and flag
+//! locality regressions as they happen.
+//!
+//! We synthesize a service whose behaviour degrades mid-run (its hot set
+//! blows up, as after a bad deploy or a data-skew shift), profile each
+//! epoch independently, and raise an alert when consecutive epochs'
+//! reuse-distance histograms diverge.
+//!
+//! ```text
+//! cargo run --release --example production_monitor
+//! ```
+
+use rdx::core::{RdxConfig, RdxRunner};
+use rdx::histogram::accuracy::total_variation;
+use rdx::traces::AccessStream;
+use rdx::workloads::{by_name, Params};
+
+const EPOCHS: usize = 8;
+const EPOCH_ACCESSES: u64 = 8_000_000;
+
+fn main() {
+    // The "service": healthy epochs look like a compact Zipf hot set;
+    // from epoch 5 on, the hot set explodes to 10x the size.
+    let healthy = by_name("zipf").expect("in suite");
+    let degraded = by_name("random_uniform").expect("in suite");
+
+    // Production operating point: the paper's 64Ki period, ≈5% overhead.
+    let runner = RdxRunner::new(RdxConfig::default());
+    let mut last = None;
+    println!(
+        "{:>5} {:>9} {:>9} {:>10} {:>12}  status",
+        "epoch", "traps", "overhead", "mean RD", "divergence"
+    );
+    for epoch in 0..EPOCHS {
+        let params = Params::default()
+            .with_accesses(EPOCH_ACCESSES)
+            .with_seed(1000 + epoch as u64);
+        let mut stream: Box<dyn AccessStream + Send> = if epoch < 5 {
+            healthy.stream(&params)
+        } else {
+            degraded.stream(&params)
+        };
+        let profile = runner.profile(&mut stream);
+        let mean_rd = profile
+            .rd
+            .as_histogram()
+            .finite_mean()
+            .unwrap_or(f64::NAN);
+        let divergence = match &last {
+            None => 0.0,
+            Some(prev) => total_variation(profile.rd.as_histogram(), prev)
+                .expect("same binning"),
+        };
+        let status = if divergence > 0.3 {
+            "ALERT: locality regression"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:>5} {:>9} {:>8.2}% {:>10.0} {:>12.3}  {}",
+            epoch,
+            profile.traps,
+            profile.time_overhead * 100.0,
+            mean_rd,
+            divergence,
+            status
+        );
+        last = Some(profile.rd.as_histogram().clone());
+    }
+    println!("\nEach epoch ran at the paper's ≈5% overhead — cheap enough to leave");
+    println!("on in production, which is the paper's whole point.");
+}

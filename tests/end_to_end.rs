@@ -1,0 +1,128 @@
+//! End-to-end accuracy and overhead floors for the full pipeline:
+//! workload generator → simulated machine → RDX profiler → conversion,
+//! judged against exhaustive ground truth.
+//!
+//! Thresholds are deliberately looser than the release-mode experiment
+//! results (tests run with fewer accesses in debug builds); the real
+//! numbers live in EXPERIMENTS.md.
+
+use rdx::core::{RdxConfig, RdxRunner};
+use rdx::groundtruth::ExactProfile;
+use rdx::histogram::accuracy::{geometric_mean, histogram_intersection};
+use rdx::traces::Granularity;
+use rdx::workloads::{by_name, suite, Params};
+
+fn accuracy_of(workload: &str, params: &Params, config: RdxConfig) -> f64 {
+    let w = by_name(workload).expect("workload exists");
+    let exact = ExactProfile::measure(w.stream(params), Granularity::WORD, config.binning);
+    let est = RdxRunner::new(config).profile(w.stream(params));
+    histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram())
+        .expect("same binning")
+}
+
+fn test_params() -> Params {
+    Params::default().with_accesses(1_500_000)
+}
+
+fn test_config() -> RdxConfig {
+    RdxConfig::default().with_period(1024)
+}
+
+#[test]
+fn cyclic_kernels_are_near_exact() {
+    for name in ["lru_adversary", "stream_triad", "pointer_chase"] {
+        let acc = accuracy_of(name, &test_params(), test_config());
+        assert!(acc > 0.95, "{name}: accuracy {acc} below 0.95");
+    }
+}
+
+#[test]
+fn skewed_kernels_above_eighty() {
+    for name in ["zipf", "gauss_hotset", "hash_probe"] {
+        let acc = accuracy_of(name, &test_params(), test_config());
+        assert!(acc > 0.72, "{name}: accuracy {acc} below 0.72");
+    }
+}
+
+#[test]
+fn suite_geo_mean_accuracy_floor() {
+    let params = Params::default().with_accesses(800_000);
+    let config = RdxConfig::default().with_period(512);
+    let accs: Vec<f64> = suite()
+        .iter()
+        .map(|w| accuracy_of(w.name, &params, config).max(1e-9))
+        .collect();
+    let geo = geometric_mean(&accs).expect("non-empty");
+    assert!(geo > 0.65, "suite geo-mean accuracy {geo} below floor");
+}
+
+#[test]
+fn paper_operating_point_overhead() {
+    let w = by_name("gauss_hotset").unwrap();
+    let params = Params::default().with_accesses(2_000_000);
+    let profile = RdxRunner::new(RdxConfig::default()).profile(w.stream(&params));
+    assert!(
+        profile.time_overhead < 0.08,
+        "overhead {} not featherlight at period 64Ki",
+        profile.time_overhead
+    );
+    assert!(profile.instrumentation_slowdown() > 20.0);
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs() {
+    let w = by_name("spmv").unwrap();
+    let params = Params::default().with_accesses(500_000);
+    let config = RdxConfig::default().with_period(1024).with_seed(7);
+    let a = RdxRunner::new(config).profile(w.stream(&params));
+    let b = RdxRunner::new(config).profile(w.stream(&params));
+    assert_eq!(a.rd, b.rd);
+    assert_eq!(a.rt, b.rt);
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.traps, b.traps);
+}
+
+#[test]
+fn histogram_mass_equals_access_count() {
+    let params = Params::default().with_accesses(400_000);
+    let config = RdxConfig::default().with_period(1024);
+    for name in ["zipf", "stencil2d", "sort_merge"] {
+        let w = by_name(name).unwrap();
+        let p = RdxRunner::new(config).profile(w.stream(&params));
+        let total = p.rd.total_weight();
+        assert!(
+            (total - p.accesses as f64).abs() < 1e-6 * p.accesses as f64,
+            "{name}: rd mass {total} != accesses {}",
+            p.accesses
+        );
+    }
+}
+
+#[test]
+fn m_estimate_tracks_true_distinct_count() {
+    let params = Params::default().with_accesses(1_500_000);
+    let config = RdxConfig::default().with_period(1024);
+    for name in ["lru_adversary", "gauss_hotset"] {
+        let w = by_name(name).unwrap();
+        let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, config.binning);
+        let est = RdxRunner::new(config).profile(w.stream(&params));
+        let truth = exact.distinct_blocks as f64;
+        assert!(
+            est.m_estimate > 0.3 * truth && est.m_estimate < 3.0 * truth,
+            "{name}: m̂ {} vs m {truth}",
+            est.m_estimate
+        );
+    }
+}
+
+#[test]
+fn more_samples_do_not_hurt_badly() {
+    // Accuracy at a denser period should be at least comparable.
+    let params = Params::default().with_accesses(1_000_000);
+    let dense = accuracy_of("zipf", &params, RdxConfig::default().with_period(256));
+    let sparse = accuracy_of("zipf", &params, RdxConfig::default().with_period(8192));
+    assert!(
+        dense > sparse - 0.15,
+        "dense {dense} should not collapse vs sparse {sparse}"
+    );
+}
