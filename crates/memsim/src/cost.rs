@@ -140,7 +140,10 @@ mod tests {
             ..CostLedger::default()
         };
         let slow = ledger.instrumentation_slowdown(&model);
-        assert!(slow > 50.0, "instrumentation slowdown {slow} should be ≫10×");
+        assert!(
+            slow > 50.0,
+            "instrumentation slowdown {slow} should be ≫10×"
+        );
     }
 
     #[test]

@@ -297,7 +297,10 @@ mod tests {
         let mut drf = DebugRegisterFile::new(2);
         drf.arm(info(0, 8, 0)).unwrap();
         drf.arm(info(64, 8, 1)).unwrap();
-        assert_eq!(drf.arm(info(128, 8, 2)).unwrap_err(), ArmError::NoFreeRegister);
+        assert_eq!(
+            drf.arm(info(128, 8, 2)).unwrap_err(),
+            ArmError::NoFreeRegister
+        );
         // disarm frees a slot
         let freed = drf.disarm(Slot(0)).unwrap();
         assert_eq!(freed.tag, 0);

@@ -24,7 +24,7 @@ impl Default for MachineConfig {
             registers: 4,
             sampling: SamplingConfig::default(),
             cost: CostModel::default(),
-            seed: 0x5D1C_E5,
+            seed: 0x005D_1CE5,
         }
     }
 }
@@ -250,9 +250,7 @@ impl Machine {
 
             if let Some(slot) = drf.matching(&access) {
                 // Disarm before delivery, like a real handler clearing DR7.
-                let info = drf
-                    .disarm(slot)
-                    .expect("matching() returned an armed slot");
+                let info = drf.disarm(slot).expect("matching() returned an armed slot");
                 ledger.traps += 1;
                 let trap = Trap {
                     access,
@@ -424,7 +422,9 @@ mod tests {
         let trace = Trace::from_addresses("d", (0..10_000u64).map(|i| (i * 37) % 4096 * 64));
         let mut a = Recorder::default();
         let mut b = Recorder::default();
-        let cfg = MachineConfig::default().with_sampling_period(500).with_seed(11);
+        let cfg = MachineConfig::default()
+            .with_sampling_period(500)
+            .with_seed(11);
         Machine::new(cfg).run(trace.stream(), &mut a);
         Machine::new(cfg).run(trace.stream(), &mut b);
         assert_eq!(a.samples, b.samples);
@@ -436,10 +436,18 @@ mod tests {
         let trace = Trace::from_addresses("s", (0..100_000u64).map(|i| (i % 333) * 64));
         let mut a = Recorder::default();
         let mut b = Recorder::default();
-        Machine::new(MachineConfig::default().with_sampling_period(1000).with_seed(1))
-            .run(trace.stream(), &mut a);
-        Machine::new(MachineConfig::default().with_sampling_period(1000).with_seed(2))
-            .run(trace.stream(), &mut b);
+        Machine::new(
+            MachineConfig::default()
+                .with_sampling_period(1000)
+                .with_seed(1),
+        )
+        .run(trace.stream(), &mut a);
+        Machine::new(
+            MachineConfig::default()
+                .with_sampling_period(1000)
+                .with_seed(2),
+        )
+        .run(trace.stream(), &mut b);
         assert_ne!(
             a.samples.iter().map(|s| s.index).collect::<Vec<_>>(),
             b.samples.iter().map(|s| s.index).collect::<Vec<_>>()

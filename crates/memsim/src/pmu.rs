@@ -254,7 +254,10 @@ mod tests {
                 sample_indices.push(i);
             }
         }
-        assert_eq!(sample_indices, (1..=10).map(|k| k * 100).collect::<Vec<_>>());
+        assert_eq!(
+            sample_indices,
+            (1..=10).map(|k| k * 100).collect::<Vec<_>>()
+        );
     }
 
     #[test]

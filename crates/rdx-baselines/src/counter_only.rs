@@ -50,7 +50,7 @@ impl CounterOnly {
         let mut pairs = 0u64;
         while let Some(a) = stream.next_access() {
             accesses += 1;
-            if accesses % self.period != 0 {
+            if !accesses.is_multiple_of(self.period) {
                 continue;
             }
             samples += 1;
@@ -67,7 +67,8 @@ impl CounterOnly {
             rd.record(ReuseDistance::INFINITE, singles as f64);
         }
         if samples > 0 {
-            rd.as_histogram_mut().scale(accesses as f64 / samples as f64);
+            rd.as_histogram_mut()
+                .scale(accesses as f64 / samples as f64);
         }
         let tool_bytes = (std::mem::size_of::<Self>() + last_sample.capacity() * 48) as u64;
         BaselineProfile {

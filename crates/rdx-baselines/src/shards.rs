@@ -105,11 +105,8 @@ mod tests {
     fn full_rate_matches_exact() {
         let trace = pseudorandom_trace(20_000, 500);
         let shards = Shards::new(1.0).profile(trace.stream());
-        let exact = ExactProfile::measure(
-            trace.stream(),
-            Granularity::default(),
-            Binning::default(),
-        );
+        let exact =
+            ExactProfile::measure(trace.stream(), Granularity::default(), Binning::default());
         let acc =
             histogram_intersection(shards.rd.as_histogram(), exact.rd.as_histogram()).unwrap();
         assert!(acc > 0.999, "R=1 must reproduce exact: {acc}");
@@ -119,11 +116,8 @@ mod tests {
     fn sampled_rate_close_to_exact() {
         let trace = pseudorandom_trace(200_000, 2000);
         let shards = Shards::new(0.05).profile(trace.stream());
-        let exact = ExactProfile::measure(
-            trace.stream(),
-            Granularity::default(),
-            Binning::default(),
-        );
+        let exact =
+            ExactProfile::measure(trace.stream(), Granularity::default(), Binning::default());
         let acc =
             histogram_intersection(shards.rd.as_histogram(), exact.rd.as_histogram()).unwrap();
         assert!(acc > 0.8, "SHARDS at 5% should stay accurate: {acc}");

@@ -14,7 +14,11 @@ fn sample_pairs(k: usize) -> Vec<(u64, f64)> {
 fn bench(c: &mut Criterion) {
     let pairs = sample_pairs(10_000);
     c.bench_function("conversion/build_10k_pairs", |b| {
-        b.iter(|| black_box(WeightedFootprint::from_sampled(10_000_000, 50_000.0, &pairs)));
+        b.iter(|| {
+            black_box(WeightedFootprint::from_sampled(
+                10_000_000, 50_000.0, &pairs,
+            ))
+        });
     });
     let fp = WeightedFootprint::from_sampled(10_000_000, 50_000.0, &pairs);
     c.bench_function("conversion/distance_queries_10k", |b| {

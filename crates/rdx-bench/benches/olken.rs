@@ -20,30 +20,42 @@ fn bench(c: &mut Criterion) {
     let blocks = blocks();
     let mut group = c.benchmark_group("olken");
     group.throughput(Throughput::Elements(N));
-    group.bench_with_input(BenchmarkId::new("structure", "fenwick"), &blocks, |b, blocks| {
-        b.iter(|| {
-            let mut o = OlkenTracker::<FenwickStructure>::with_structure();
-            for &blk in blocks {
-                black_box(o.access(blk));
-            }
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("structure", "treap"), &blocks, |b, blocks| {
-        b.iter(|| {
-            let mut o = OlkenTracker::<TreapStructure>::with_structure();
-            for &blk in blocks {
-                black_box(o.access(blk));
-            }
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("structure", "splay"), &blocks, |b, blocks| {
-        b.iter(|| {
-            let mut o = OlkenTracker::<SplayStructure>::with_structure();
-            for &blk in blocks {
-                black_box(o.access(blk));
-            }
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("structure", "fenwick"),
+        &blocks,
+        |b, blocks| {
+            b.iter(|| {
+                let mut o = OlkenTracker::<FenwickStructure>::with_structure();
+                for &blk in blocks {
+                    black_box(o.access(blk));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("structure", "treap"),
+        &blocks,
+        |b, blocks| {
+            b.iter(|| {
+                let mut o = OlkenTracker::<TreapStructure>::with_structure();
+                for &blk in blocks {
+                    black_box(o.access(blk));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("structure", "splay"),
+        &blocks,
+        |b, blocks| {
+            b.iter(|| {
+                let mut o = OlkenTracker::<SplayStructure>::with_structure();
+                for &blk in blocks {
+                    black_box(o.access(blk));
+                }
+            });
+        },
+    );
     group.finish();
 }
 

@@ -37,16 +37,11 @@ fn main() {
             acc(sh.rd.as_histogram()).max(1e-9),
         )
     });
-    let col = |i: usize| -> Vec<f64> {
-        rows.iter()
-            .map(|(_, r)| [r.0, r.1, r.2, r.3][i])
-            .collect()
-    };
+    let col =
+        |i: usize| -> Vec<f64> { rows.iter().map(|(_, r)| [r.0, r.1, r.2, r.3][i]).collect() };
     let mut table: Vec<Vec<String>> = rows
         .iter()
-        .map(|(w, (a, b, c, d))| {
-            vec![w.name.to_string(), pct(*a), pct(*b), pct(*c), pct(*d)]
-        })
+        .map(|(w, (a, b, c, d))| vec![w.name.to_string(), pct(*a), pct(*b), pct(*c), pct(*d)])
         .collect();
     table.push(vec![
         "geo-mean".into(),
@@ -56,7 +51,13 @@ fn main() {
         pct(geo_mean(&col(3))),
     ]);
     print_table(
-        &["workload", "rdx (footprint)", "rdx (time-as-dist)", "counter-only", "shards 1%"],
+        &[
+            "workload",
+            "rdx (footprint)",
+            "rdx (time-as-dist)",
+            "counter-only",
+            "shards 1%",
+        ],
         &table,
     );
     println!("\nSHARDS is accurate but instruments every access; counter-only is");

@@ -17,20 +17,17 @@ fn main() {
         params.accesses
     );
     let rows = per_workload(|w| {
-        let word_exact =
-            ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning);
+        let word_exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning);
         let line_exact =
             ExactProfile::measure(w.stream(&params), Granularity::CACHE_LINE, base.binning);
         let est = RdxRunner::new(base).profile(w.stream(&params));
-        let word_acc =
-            histogram_intersection(est.rd.as_histogram(), word_exact.rd.as_histogram())
-                .expect("same binning");
+        let word_acc = histogram_intersection(est.rd.as_histogram(), word_exact.rd.as_histogram())
+            .expect("same binning");
         // The same estimated histogram judged against line-granular truth:
         // the error RDX incurs if its word-granular profile is read as a
         // line-granular one.
-        let line_acc =
-            histogram_intersection(est.rd.as_histogram(), line_exact.rd.as_histogram())
-                .expect("same binning");
+        let line_acc = histogram_intersection(est.rd.as_histogram(), line_exact.rd.as_histogram())
+            .expect("same binning");
         (word_acc.max(1e-9), line_acc.max(1e-9))
     });
     let words: Vec<f64> = rows.iter().map(|(_, r)| r.0).collect();

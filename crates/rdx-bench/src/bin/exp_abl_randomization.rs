@@ -47,7 +47,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["workload", "jittered acc", "fixed acc", "traps (jit)", "traps (fix)"],
+        &[
+            "workload",
+            "jittered acc",
+            "fixed acc",
+            "traps (jit)",
+            "traps (fix)",
+        ],
         &rows,
     );
 }

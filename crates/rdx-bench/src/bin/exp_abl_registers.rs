@@ -15,22 +15,19 @@ fn main() {
         "A1: accuracy vs debug-register count ({} accesses, period {})\n",
         params.accesses, base.machine.sampling.period
     );
-    let exacts: HashMap<&str, _> = per_workload(|w| {
-        ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning)
-    })
-    .into_iter()
-    .map(|(w, e)| (w.name, e))
-    .collect();
+    let exacts: HashMap<&str, _> =
+        per_workload(|w| ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning))
+            .into_iter()
+            .map(|(w, e)| (w.name, e))
+            .collect();
     let mut rows = Vec::new();
     for registers in [1usize, 2, 4, 8, 16] {
         let config = base.with_registers(registers);
         let results = per_workload(|w| {
             let est = RdxRunner::new(config).profile(w.stream(&params));
-            let acc = histogram_intersection(
-                est.rd.as_histogram(),
-                exacts[w.name].rd.as_histogram(),
-            )
-            .expect("same binning");
+            let acc =
+                histogram_intersection(est.rd.as_histogram(), exacts[w.name].rd.as_histogram())
+                    .expect("same binning");
             (acc.max(1e-9), est.traps)
         });
         let accs: Vec<f64> = results.iter().map(|(_, r)| r.0).collect();

@@ -5,8 +5,11 @@
 //! long-reuse kernels collapse under it; drop-new observes any interval
 //! exactly at the cost of biased start thinning.
 
-use rdx_bench::{accuracy_config, experiment_params, geo_mean, pct, per_workload, print_table};
-use rdx_core::{RdxRunner, ReplacementPolicy};
+use rdx_bench::{
+    accuracy_config, experiment_params, geo_mean, jobs, par_profile_suite, pct, per_workload,
+    print_table,
+};
+use rdx_core::ReplacementPolicy;
 use rdx_groundtruth::ExactProfile;
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_trace::Granularity;
@@ -19,12 +22,11 @@ fn main() {
         "A2: accuracy vs replacement policy ({} accesses, period {})\n",
         params.accesses, base.machine.sampling.period
     );
-    let exacts: HashMap<&str, _> = per_workload(|w| {
-        ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning)
-    })
-    .into_iter()
-    .map(|(w, e)| (w.name, e))
-    .collect();
+    let exacts: HashMap<&str, _> =
+        per_workload(|w| ExactProfile::measure(w.stream(&params), Granularity::WORD, base.binning))
+            .into_iter()
+            .map(|(w, e)| (w.name, e))
+            .collect();
     let policies = [
         ("drop-new+aging", ReplacementPolicy::DropNew),
         ("evict-oldest", ReplacementPolicy::EvictOldest),
@@ -33,19 +35,19 @@ fn main() {
     let mut rows = Vec::new();
     for (name, policy) in policies {
         let config = base.with_replacement(policy);
-        let results = per_workload(|w| {
-            let est = RdxRunner::new(config).profile(w.stream(&params));
-            let acc = histogram_intersection(
-                est.rd.as_histogram(),
-                exacts[w.name].rd.as_histogram(),
-            )
-            .expect("same binning");
-            (acc.max(1e-9), est.traps, est.evictions)
-        });
-        let accs: Vec<f64> = results.iter().map(|(_, r)| r.0).collect();
+        let results: Vec<_> = par_profile_suite(config, &params, jobs())
+            .into_iter()
+            .map(|(w, est)| {
+                let acc =
+                    histogram_intersection(est.rd.as_histogram(), exacts[w.name].rd.as_histogram())
+                        .expect("same binning");
+                (acc.max(1e-9), est.traps, est.evictions)
+            })
+            .collect();
+        let accs: Vec<f64> = results.iter().map(|r| r.0).collect();
         let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
-        let traps: u64 = results.iter().map(|(_, r)| r.1).sum();
-        let evics: u64 = results.iter().map(|(_, r)| r.2).sum();
+        let traps: u64 = results.iter().map(|r| r.1).sum();
+        let evics: u64 = results.iter().map(|r| r.2).sum();
         rows.push(vec![
             name.to_string(),
             pct(geo_mean(&accs)),

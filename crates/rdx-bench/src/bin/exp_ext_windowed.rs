@@ -13,7 +13,13 @@ use rdx_histogram::accuracy::histogram_intersection;
 use rdx_trace::Granularity;
 use rdx_workloads::by_name;
 
-const SELECTED: &[&str] = &["phased", "sort_merge", "gauss_hotset", "zipf", "matmul_naive"];
+const SELECTED: &[&str] = &[
+    "phased",
+    "sort_merge",
+    "gauss_hotset",
+    "zipf",
+    "matmul_naive",
+];
 
 fn main() {
     let params = experiment_params();
@@ -33,11 +39,9 @@ fn main() {
         let windowed = runner.profile_windows(w.stream(&params), window_len);
         let g_acc = histogram_intersection(global.rd.as_histogram(), exact.rd.as_histogram())
             .expect("same binning");
-        let w_acc = histogram_intersection(
-            windowed.merged_rd.as_histogram(),
-            exact.rd.as_histogram(),
-        )
-        .expect("same binning");
+        let w_acc =
+            histogram_intersection(windowed.merged_rd.as_histogram(), exact.rd.as_histogram())
+                .expect("same binning");
         let changes = windowed.phase_changes(0.4).len();
         rows.push(vec![
             w.name.to_string(),

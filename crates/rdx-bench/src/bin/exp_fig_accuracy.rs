@@ -5,8 +5,10 @@
 //! histograms; the reuse-time column isolates measurement error from
 //! conversion error.
 
-use rdx_bench::{accuracy_config, experiment_params, geo_mean, pct, per_workload, print_table};
-use rdx_core::RdxRunner;
+use rdx_bench::{
+    accuracy_config, experiment_params, geo_mean, jobs, par_profile_suite, pct, per_workload,
+    print_table,
+};
 use rdx_groundtruth::ExactProfile;
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_trace::Granularity;
@@ -15,19 +17,26 @@ fn main() {
     let params = experiment_params();
     let config = accuracy_config();
     println!(
-        "F5: RDX accuracy vs ground truth ({} accesses, period {})\n",
-        params.accesses, config.machine.sampling.period
+        "F5: RDX accuracy vs ground truth ({} accesses, period {}, {} jobs)\n",
+        params.accesses,
+        config.machine.sampling.period,
+        jobs()
     );
-    let rows = per_workload(|w| {
-        let exact =
-            ExactProfile::measure(w.stream(&params), Granularity::WORD, config.binning);
-        let est = RdxRunner::new(config).profile(w.stream(&params));
-        let rd_acc = histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram())
-            .expect("same binning");
-        let rt_acc = histogram_intersection(est.rt.as_histogram(), exact.rt.as_histogram())
-            .expect("same binning");
-        (rd_acc, rt_acc, est.traps, est.samples)
+    let exacts = per_workload(|w| {
+        ExactProfile::measure(w.stream(&params), Granularity::WORD, config.binning)
     });
+    let ests = par_profile_suite(config, &params, jobs());
+    let rows: Vec<_> = exacts
+        .iter()
+        .zip(&ests)
+        .map(|((w, exact), (_, est))| {
+            let rd_acc = histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram())
+                .expect("same binning");
+            let rt_acc = histogram_intersection(est.rt.as_histogram(), exact.rt.as_histogram())
+                .expect("same binning");
+            (*w, (rd_acc, rt_acc, est.traps, est.samples))
+        })
+        .collect();
     let rd_accs: Vec<f64> = rows.iter().map(|(_, r)| r.0).collect();
     let table: Vec<Vec<String>> = rows
         .iter()

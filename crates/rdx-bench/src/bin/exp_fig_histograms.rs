@@ -53,8 +53,14 @@ fn main() {
             }
         }
         for label in labels {
-            let a = ex.iter().find(|(l, _)| *l == label).map_or(0.0, |(_, v)| *v);
-            let b = es.iter().find(|(l, _)| *l == label).map_or(0.0, |(_, v)| *v);
+            let a = ex
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map_or(0.0, |(_, v)| *v);
+            let b = es
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map_or(0.0, |(_, v)| *v);
             println!("{label:>24} {a:>10.4} {b:>10.4}");
         }
         println!();

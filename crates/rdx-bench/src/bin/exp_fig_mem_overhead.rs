@@ -26,7 +26,11 @@ fn main() {
         let stats = TraceStats::measure(w.stream(&params), Granularity::WORD);
         let est = RdxRunner::new(config).profile(w.stream(&params));
         let app_bytes = stats.footprint_bytes().max(1);
-        (est.profiler_bytes, app_bytes, est.memory_overhead(app_bytes))
+        (
+            est.profiler_bytes,
+            app_bytes,
+            est.memory_overhead(app_bytes),
+        )
     });
     let ratios: Vec<f64> = rows.iter().map(|(_, r)| r.2).collect();
     let table: Vec<Vec<String>> = rows

@@ -6,12 +6,13 @@
 //! length — long-running applications (the paper's SPEC setting) can have
 //! both, short runs must pick.
 
-use rdx_bench::{experiment_params, geo_mean, pct, per_workload, print_table};
-use rdx_core::{RdxConfig, RdxRunner};
+use rdx_bench::{experiment_params, geo_mean, jobs, pct, per_workload, print_table};
+use rdx_core::{profile_batch, BatchTask, RdxConfig};
 use rdx_groundtruth::ExactProfile;
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_histogram::Binning;
 use rdx_trace::Granularity;
+use rdx_workloads::suite;
 use std::collections::HashMap;
 
 fn main() {
@@ -28,22 +29,35 @@ fn main() {
     .map(|(w, e)| (w.name, e))
     .collect();
 
+    // The whole period × workload grid is one batch: the runner keeps every
+    // core busy across period boundaries instead of barriering per period.
     let periods = [512u64, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+    let tasks: Vec<_> = periods
+        .iter()
+        .flat_map(|&period| {
+            suite().iter().map(move |w| BatchTask {
+                config: RdxConfig::default().with_period(period),
+                make_stream: move || w.stream(&params),
+            })
+        })
+        .collect();
+    let profiles = profile_batch(tasks, jobs());
+
     let mut rows = Vec::new();
-    for &period in &periods {
-        let config = RdxConfig::default().with_period(period);
-        let results = per_workload(|w| {
-            let est = RdxRunner::new(config).profile(w.stream(&params));
-            let acc = histogram_intersection(
-                est.rd.as_histogram(),
-                exacts[w.name].rd.as_histogram(),
-            )
-            .expect("same binning");
-            (acc, est.time_overhead, est.traps)
-        });
-        let accs: Vec<f64> = results.iter().map(|(_, r)| r.0.max(1e-9)).collect();
-        let overheads: Vec<f64> = results.iter().map(|(_, r)| r.1).collect();
-        let traps: u64 = results.iter().map(|(_, r)| r.2).sum();
+    for (chunk, &period) in profiles.chunks(suite().len()).zip(&periods) {
+        let results: Vec<_> = suite()
+            .iter()
+            .zip(chunk)
+            .map(|(w, est)| {
+                let acc =
+                    histogram_intersection(est.rd.as_histogram(), exacts[w.name].rd.as_histogram())
+                        .expect("same binning");
+                (acc, est.time_overhead, est.traps)
+            })
+            .collect();
+        let accs: Vec<f64> = results.iter().map(|r| r.0.max(1e-9)).collect();
+        let overheads: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let traps: u64 = results.iter().map(|r| r.2).sum();
         rows.push(vec![
             period.to_string(),
             pct(geo_mean(&accs)),
@@ -52,7 +66,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["period", "geo-mean accuracy", "mean overhead", "traps/workload"],
+        &[
+            "period",
+            "geo-mean accuracy",
+            "mean overhead",
+            "traps/workload",
+        ],
         &rows,
     );
     println!("\nAt the paper's scale (hours-long SPEC runs, ~10^12 accesses), period");

@@ -12,6 +12,8 @@
 //! * `RDX_PERIOD` — sampling period for accuracy experiments
 //!   (default 2048; the overhead experiments always use the paper's 64 Ki
 //!   operating point).
+//! * `RDX_JOBS` — worker threads for parallel sweeps (default: the
+//!   machine's available parallelism).
 //!
 //! The defaults keep the full suite under a minute; the paper-scale
 //! configuration (`RDX_ACCESSES=134217728 RDX_PERIOD=65536`) reproduces the
@@ -20,8 +22,9 @@
 #![forbid(unsafe_code)]
 
 use parking_lot::Mutex;
-use rdx_core::RdxConfig;
+use rdx_core::{profile_batch, BatchTask, RdxConfig, RdxProfile};
 use rdx_workloads::{suite, Params, WorkloadSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Workload sizing for experiments, honouring the env overrides.
 #[must_use]
@@ -54,20 +57,48 @@ fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.parse().ok()
 }
 
-/// Runs `f` for every workload in the suite, in parallel, returning
-/// `(workload, result)` rows in canonical suite order.
+/// Worker-thread count for parallel sweeps: `RDX_JOBS` if set (≥ 1),
+/// otherwise the machine's available parallelism.
+#[must_use]
+pub fn jobs() -> usize {
+    env_u64("RDX_JOBS").map_or_else(rdx_core::default_jobs, |v| {
+        usize::try_from(v.max(1)).unwrap_or(1)
+    })
+}
+
+/// Runs `f` for every workload in the suite on a bounded pool of
+/// [`jobs()`](jobs) threads, returning `(workload, result)` rows in
+/// canonical suite order.
 pub fn per_workload<T, F>(f: F) -> Vec<(&'static WorkloadSpec, T)>
 where
     T: Send,
     F: Fn(&'static WorkloadSpec) -> T + Sync,
 {
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    per_workload_with_jobs(f, jobs())
+}
+
+/// [`per_workload`] with an explicit worker-thread cap.
+pub fn per_workload_with_jobs<T, F>(f: F, jobs: usize) -> Vec<(&'static WorkloadSpec, T)>
+where
+    T: Send,
+    F: Fn(&'static WorkloadSpec) -> T + Sync,
+{
+    let workloads = suite();
+    let n = workloads.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let cursor = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
-        for (i, w) in suite().iter().enumerate() {
+        for _ in 0..jobs {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
-                let r = f(w);
+            let cursor = &cursor;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&workloads[i]);
                 results.lock().push((i, r));
             });
         }
@@ -75,9 +106,27 @@ where
     .expect("workload thread panicked");
     let mut rows = results.into_inner();
     rows.sort_by_key(|&(i, _)| i);
-    rows.into_iter()
-        .map(|(i, r)| (&suite()[i], r))
-        .collect()
+    rows.into_iter().map(|(i, r)| (&workloads[i], r)).collect()
+}
+
+/// Profiles every workload in the suite under `config` on at most `jobs`
+/// threads via [`rdx_core::profile_batch`]; rows are in canonical suite
+/// order and identical to a sequential run regardless of `jobs`.
+#[must_use]
+pub fn par_profile_suite(
+    config: RdxConfig,
+    params: &Params,
+    jobs: usize,
+) -> Vec<(&'static WorkloadSpec, RdxProfile)> {
+    let params = *params;
+    let tasks: Vec<_> = suite()
+        .iter()
+        .map(|w| BatchTask {
+            config,
+            make_stream: move || w.stream(&params),
+        })
+        .collect();
+    suite().iter().zip(profile_batch(tasks, jobs)).collect()
 }
 
 /// Geometric mean of positive values (0 if empty or any non-positive).
@@ -99,7 +148,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: Vec<&str>| {
         let mut out = String::new();
         for (i, c) in cells.iter().enumerate() {
-            out.push_str(&format!("{:w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", out.trim_end());
     };
@@ -127,6 +180,31 @@ mod tests {
         for (i, (w, len)) in rows.iter().enumerate() {
             assert_eq!(w.name, suite()[i].name);
             assert_eq!(*len, w.name.len());
+        }
+    }
+
+    #[test]
+    fn per_workload_with_jobs_is_deterministic() {
+        let one = per_workload_with_jobs(|w| w.name.to_string(), 1);
+        let many = per_workload_with_jobs(|w| w.name.to_string(), 7);
+        assert_eq!(one.len(), many.len());
+        for ((wa, a), (wb, b)) in one.iter().zip(&many) {
+            assert_eq!(wa.name, wb.name);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn par_profile_suite_matches_sequential() {
+        let params = Params::default().with_accesses(10_000).with_elements(800);
+        let config = RdxConfig::default().with_period(512);
+        let seq = par_profile_suite(config, &params, 1);
+        let par = par_profile_suite(config, &params, 4);
+        assert_eq!(seq.len(), suite().len());
+        for ((wa, a), (wb, b)) in seq.iter().zip(&par) {
+            assert_eq!(wa.name, wb.name);
+            assert_eq!(a.rd, b.rd, "{}: rd mismatch across jobs", wa.name);
+            assert_eq!(a.samples, b.samples);
         }
     }
 

@@ -1,0 +1,60 @@
+//! Wall-clock speedup of the parallel batch runner.
+//!
+//! Ignored by default because timing assertions are hardware-dependent;
+//! run explicitly with
+//!
+//! ```text
+//! cargo test --release -p rdx-bench --test batch_speedup -- --ignored
+//! ```
+//!
+//! On a machine with ≥ 4 cores this asserts a ≥ 2× speedup for an
+//! `exp_fig_accuracy`-sized sweep (the whole workload registry under one
+//! profiling config). On fewer cores it only checks that the parallel
+//! path is not pathologically slower, since real speedup is impossible.
+
+use rdx_bench::par_profile_suite;
+use rdx_core::{default_jobs, RdxConfig};
+use rdx_workloads::Params;
+use std::time::Instant;
+
+#[test]
+#[ignore = "timing assertion; run explicitly in release mode"]
+fn batch_runner_speedup_on_suite_sweep() {
+    let params = Params::default().with_accesses(2_000_000);
+    let config = RdxConfig::default().with_period(2048);
+    let cores = default_jobs();
+
+    // Warm up (page in binaries, populate allocator arenas).
+    let _ = par_profile_suite(config, &Params::default().with_accesses(50_000), 1);
+
+    let t0 = Instant::now();
+    let seq = par_profile_suite(config, &params, 1);
+    let sequential = t0.elapsed();
+
+    let t1 = Instant::now();
+    let par = par_profile_suite(config, &params, cores);
+    let parallel = t1.elapsed();
+
+    // Determinism holds regardless of timing.
+    for ((wa, a), (wb, b)) in seq.iter().zip(&par) {
+        assert_eq!(wa.name, wb.name);
+        assert_eq!(a.rd, b.rd, "{}: rd mismatch across jobs", wa.name);
+    }
+
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    eprintln!(
+        "suite sweep: sequential {sequential:.2?}, parallel ({cores} jobs) \
+         {parallel:.2?}, speedup {speedup:.2}x"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected ≥2x speedup on {cores} cores, got {speedup:.2}x"
+        );
+    } else {
+        assert!(
+            speedup >= 0.7,
+            "parallel path pathologically slow on {cores} core(s): {speedup:.2}x"
+        );
+    }
+}

@@ -3,11 +3,17 @@
 //! ```text
 //! rdx list
 //! rdx profile <workload> [--accesses N] [--elements N] [--period N]
-//!             [--seed N] [--registers N] [--exact] [--mrc] [--csv]
+//!             [--seed N] [--registers N] [--jobs N] [--exact] [--mrc] [--csv]
+//! rdx suite [--accesses N] [--elements N] [--period N] [--seed N]
+//!           [--jobs N] [--csv]
 //! ```
+//!
+//! `--jobs N` parallelizes: `suite` fans workloads over `N` profiler
+//! threads (deterministic, same output as `--jobs 1`), and `profile
+//! --exact` measures ground truth with `N` shards.
 
-use rdx_core::{RdxConfig, RdxRunner};
-use rdx_groundtruth::ExactProfile;
+use rdx_core::{profile_batch, BatchTask, RdxConfig, RdxProfile, RdxRunner};
+use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_histogram::{Binning, Histogram};
 use rdx_trace::Granularity;
@@ -17,7 +23,9 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rdx list\n  rdx profile <workload> [--accesses N] [--elements N] \
-         [--period N]\n              [--seed N] [--registers N] [--exact] [--mrc] [--csv]"
+         [--period N]\n              [--seed N] [--registers N] [--jobs N] [--exact] \
+         [--mrc] [--csv]\n  rdx suite [--accesses N] [--elements N] [--period N] \
+         [--seed N] [--jobs N] [--csv]"
     );
     ExitCode::FAILURE
 }
@@ -33,21 +41,127 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("profile") => profile(&args[1..]),
+        Some("suite") => suite_cmd(&args[1..]),
         _ => usage(),
     }
 }
 
-fn parse_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => args
-            .get(i + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?
-            .parse::<u64>()
-            .map(Some)
-            .map_err(|e| format!("{flag}: {e}")),
+/// Parsed command-line options, filled by a single left-to-right scan.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Opts {
+    accesses: Option<u64>,
+    elements: Option<u64>,
+    seed: Option<u64>,
+    period: Option<u64>,
+    registers: Option<u64>,
+    jobs: Option<u64>,
+    exact: bool,
+    mrc: bool,
+    csv: bool,
+}
+
+impl Opts {
+    /// Parses `args` strictly left to right. Flags not in `allowed` are
+    /// rejected, as is any flag given twice; every value flag consumes
+    /// exactly the argument that follows it.
+    fn parse(args: &[String], allowed: &[&str]) -> Result<Opts, String> {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let flag = arg.as_str();
+            if !allowed.contains(&flag) {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            match flag {
+                "--exact" | "--mrc" | "--csv" => {
+                    let slot = match flag {
+                        "--exact" => &mut opts.exact,
+                        "--mrc" => &mut opts.mrc,
+                        _ => &mut opts.csv,
+                    };
+                    if *slot {
+                        return Err(format!("duplicate flag '{flag}'"));
+                    }
+                    *slot = true;
+                }
+                _ => {
+                    let slot = match flag {
+                        "--accesses" => &mut opts.accesses,
+                        "--elements" => &mut opts.elements,
+                        "--seed" => &mut opts.seed,
+                        "--period" => &mut opts.period,
+                        "--registers" => &mut opts.registers,
+                        "--jobs" => &mut opts.jobs,
+                        _ => unreachable!("allowed flags are handled above"),
+                    };
+                    if slot.is_some() {
+                        return Err(format!("duplicate flag '{flag}'"));
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("{flag} needs a value"))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("{flag}: {e}"))?;
+                    *slot = Some(value);
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    fn params(&self) -> Params {
+        let mut p = Params::default().with_accesses(4_000_000);
+        if let Some(v) = self.accesses {
+            p = p.with_accesses(v);
+        }
+        if let Some(v) = self.elements {
+            p = p.with_elements(v);
+        }
+        if let Some(v) = self.seed {
+            p = p.with_seed(v);
+        }
+        p
+    }
+
+    fn config(&self) -> RdxConfig {
+        let mut c = RdxConfig::default().with_period(self.period.unwrap_or(2048));
+        if let Some(v) = self.seed {
+            c = c.with_seed(v);
+        }
+        if let Some(v) = self.registers {
+            c = c.with_registers(v as usize);
+        }
+        c
+    }
+
+    fn jobs(&self) -> usize {
+        match self.jobs {
+            Some(v) => usize::try_from(v.max(1)).unwrap_or(1),
+            None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
     }
 }
+
+const PROFILE_FLAGS: &[&str] = &[
+    "--accesses",
+    "--elements",
+    "--seed",
+    "--period",
+    "--registers",
+    "--jobs",
+    "--exact",
+    "--mrc",
+    "--csv",
+];
+
+const SUITE_FLAGS: &[&str] = &[
+    "--accesses",
+    "--elements",
+    "--seed",
+    "--period",
+    "--jobs",
+    "--csv",
+];
 
 fn profile(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
@@ -57,40 +171,23 @@ fn profile(args: &[String]) -> ExitCode {
         eprintln!("unknown workload '{name}'; try `rdx list`");
         return ExitCode::FAILURE;
     };
-    let mut params = Params::default().with_accesses(4_000_000);
-    let mut config = RdxConfig::default().with_period(2048);
-    match (|| -> Result<(), String> {
-        if let Some(v) = parse_flag(args, "--accesses")? {
-            params = params.with_accesses(v);
-        }
-        if let Some(v) = parse_flag(args, "--elements")? {
-            params = params.with_elements(v);
-        }
-        if let Some(v) = parse_flag(args, "--seed")? {
-            params = params.with_seed(v);
-            config = config.with_seed(v);
-        }
-        if let Some(v) = parse_flag(args, "--period")? {
-            config = config.with_period(v);
-        }
-        if let Some(v) = parse_flag(args, "--registers")? {
-            config = config.with_registers(v as usize);
-        }
-        Ok(())
-    })() {
-        Ok(()) => {}
+    let opts = match Opts::parse(&args[1..], PROFILE_FLAGS) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
-    }
-    let csv = args.iter().any(|a| a == "--csv");
-    let want_exact = args.iter().any(|a| a == "--exact");
-    let want_mrc = args.iter().any(|a| a == "--mrc");
+    };
+    let params = opts.params();
+    let config = opts.config();
+    let csv = opts.csv;
 
     let profile = RdxRunner::new(config).profile(workload.stream(&params));
     if !csv {
-        println!("workload        : {} ({})", workload.name, workload.spec_analog);
+        println!(
+            "workload        : {} ({})",
+            workload.name, workload.spec_analog
+        );
         println!("accesses        : {}", profile.accesses);
         println!("samples/traps   : {} / {}", profile.samples, profile.traps);
         println!("est. blocks     : {:.0}", profile.m_estimate);
@@ -108,7 +205,7 @@ fn profile(args: &[String]) -> ExitCode {
     }
     print_histogram(profile.rd.as_histogram(), csv);
 
-    if want_mrc {
+    if opts.mrc {
         let mrc = profile.miss_ratio_curve();
         println!("\nmiss-ratio curve (capacity in blocks):");
         for cap in [1u64 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18, 1 << 21] {
@@ -116,17 +213,87 @@ fn profile(args: &[String]) -> ExitCode {
         }
     }
 
-    if want_exact {
-        let exact = ExactProfile::measure(
-            workload.stream(&params),
-            Granularity::WORD,
-            Binning::log2(),
-        );
+    if opts.exact {
+        let jobs = opts.jobs();
+        let exact = if jobs > 1 {
+            ShardedExact::new(jobs).measure(
+                workload.stream(&params),
+                Granularity::WORD,
+                Binning::log2(),
+            )
+        } else {
+            ExactProfile::measure(workload.stream(&params), Granularity::WORD, Binning::log2())
+        };
         let acc = histogram_intersection(profile.rd.as_histogram(), exact.rd.as_histogram())
             .expect("same binning");
         println!("\nexact (ground-truth) histogram:");
         print_histogram(exact.rd.as_histogram(), csv);
         println!("\naccuracy vs ground truth: {:.1}%", acc * 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Profiles every registry workload in parallel and prints one summary
+/// row per workload (identical output for any `--jobs` value).
+fn suite_cmd(args: &[String]) -> ExitCode {
+    let opts = match Opts::parse(args, SUITE_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = opts.params();
+    let config = opts.config();
+    let jobs = opts.jobs();
+
+    let tasks: Vec<_> = suite()
+        .iter()
+        .map(|w| BatchTask {
+            config,
+            make_stream: move || w.stream(&params),
+        })
+        .collect();
+    let profiles = profile_batch(tasks, jobs);
+
+    if opts.csv {
+        println!("workload,accesses,samples,traps,est_blocks,time_overhead,mean_rd");
+    } else {
+        println!(
+            "suite: {} workloads, {} accesses each, period {}, {} jobs\n",
+            suite().len(),
+            params.accesses,
+            config.machine.sampling.period,
+            jobs
+        );
+        println!(
+            "{:16} {:>10} {:>8} {:>8} {:>11} {:>9} {:>10}",
+            "workload", "accesses", "samples", "traps", "est. blocks", "overhead", "mean rd"
+        );
+    }
+    for (w, p) in suite().iter().zip(&profiles) {
+        let mean_rd = p.rd.as_histogram().finite_mean().unwrap_or(f64::NAN);
+        if opts.csv {
+            println!(
+                "{},{},{},{},{:.0},{:.6},{:.1}",
+                w.name, p.accesses, p.samples, p.traps, p.m_estimate, p.time_overhead, mean_rd
+            );
+        } else {
+            println!(
+                "{:16} {:>10} {:>8} {:>8} {:>11.0} {:>8.2}% {:>10.1}",
+                w.name,
+                p.accesses,
+                p.samples,
+                p.traps,
+                p.m_estimate,
+                p.time_overhead * 100.0,
+                mean_rd
+            );
+        }
+    }
+    if !opts.csv {
+        let total: u64 = profiles.iter().map(|p: &RdxProfile| p.accesses).sum();
+        println!("\ntotal accesses profiled: {total}");
     }
     ExitCode::SUCCESS
 }
@@ -160,5 +327,69 @@ fn print_histogram(h: &Histogram, csv: bool) {
                 "#".repeat((n.infinite_weight() * 50.0).round() as usize)
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_left_to_right() {
+        let opts = Opts::parse(
+            &to_args(&["--accesses", "1000", "--exact", "--jobs", "4"]),
+            PROFILE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.accesses, Some(1000));
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.exact);
+        assert!(!opts.csv);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = Opts::parse(&to_args(&["--bogus", "3"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_value_flag() {
+        let err = Opts::parse(
+            &to_args(&["--period", "512", "--period", "1024"]),
+            PROFILE_FLAGS,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate flag '--period'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_boolean_flag() {
+        let err = Opts::parse(&to_args(&["--csv", "--csv"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate flag '--csv'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Opts::parse(&to_args(&["--accesses"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flag_as_value() {
+        // A flag immediately following a value flag is consumed as its
+        // value and fails to parse — it is never silently skipped.
+        let err = Opts::parse(&to_args(&["--accesses", "--csv"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("--accesses"), "{err}");
+    }
+
+    #[test]
+    fn suite_flags_exclude_registers() {
+        let err = Opts::parse(&to_args(&["--registers", "2"]), SUITE_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 }

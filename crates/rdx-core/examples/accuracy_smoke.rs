@@ -7,17 +7,27 @@ use rdx_trace::Granularity;
 use rdx_workloads::{suite, Params};
 
 fn main() {
-    let params = Params::default().with_accesses(4_000_000).with_elements(60_000);
+    let params = Params::default()
+        .with_accesses(4_000_000)
+        .with_elements(60_000);
     let config = RdxConfig::default().with_period(2048);
     let runner = RdxRunner::new(config);
     for w in suite() {
         let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2());
         let est = runner.profile(w.stream(&params));
         let acc = histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram()).unwrap();
-        let rt_acc = histogram_intersection(est.rt.as_histogram(), exact.rt.as_histogram()).unwrap();
+        let rt_acc =
+            histogram_intersection(est.rt.as_histogram(), exact.rt.as_histogram()).unwrap();
         println!(
             "{:16} acc={:.3} rt_acc={:.3} traps={:6} evic={:5} m̂={:9.0} m={:8} ovh={:.3}",
-            w.name, acc, rt_acc, est.traps, est.evictions, est.m_estimate, exact.distinct_blocks, est.time_overhead
+            w.name,
+            acc,
+            rt_acc,
+            est.traps,
+            est.evictions,
+            est.m_estimate,
+            exact.distinct_blocks,
+            est.time_overhead
         );
     }
 }

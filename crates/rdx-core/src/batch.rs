@@ -1,0 +1,188 @@
+//! Parallel batch profiling over a bounded worker pool.
+//!
+//! Every RDX profile is an independent, deterministic function of its
+//! `(config, stream)` pair, which makes sweeps — registry × period ×
+//! policy grids — embarrassingly parallel. [`profile_batch`] fans a
+//! task list out over at most `jobs` worker threads and returns the
+//! profiles **in task order**, so parallel output is byte-identical to
+//! a sequential run no matter how the scheduler interleaves workers.
+//!
+//! Tasks carry a *stream factory* rather than a stream so that nothing
+//! is materialized until a worker picks the task up; combined with the
+//! profiler's own streaming consumption, peak memory stays at
+//! `O(jobs)` live streams.
+
+use crate::config::RdxConfig;
+use crate::report::RdxProfile;
+use crate::runner::RdxRunner;
+use rdx_trace::AccessStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unit of batch work: a profiler configuration plus the factory that
+/// builds its input stream on the worker thread.
+pub struct BatchTask<F> {
+    /// Profiler configuration for this task.
+    pub config: RdxConfig,
+    /// Builds the access stream (invoked once, on the worker).
+    pub make_stream: F,
+}
+
+/// The machine's available parallelism (≥ 1): the default `jobs` value.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Profiles every task on a pool of at most `jobs` threads, returning
+/// profiles in task order (deterministic regardless of scheduling).
+///
+/// `jobs` is clamped to `[1, tasks.len()]`; `jobs == 1` degenerates to
+/// an in-place sequential loop with no thread overhead.
+#[must_use]
+pub fn profile_batch<S, F>(tasks: Vec<BatchTask<F>>, jobs: usize) -> Vec<RdxProfile>
+where
+    S: AccessStream,
+    F: FnOnce() -> S + Send,
+{
+    let task_count = tasks.len();
+    if task_count == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, task_count);
+    if jobs == 1 {
+        return tasks
+            .into_iter()
+            .map(|t| RdxRunner::new(t.config).profile((t.make_stream)()))
+            .collect();
+    }
+
+    // Each slot is taken exactly once: the atomic cursor hands every
+    // index to exactly one worker, so the per-slot lock is uncontended.
+    let slots: Vec<parking_lot::Mutex<Option<BatchTask<F>>>> = tasks
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, RdxProfile)>();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let task = slots[i].lock().take().expect("task taken exactly once");
+                let profile = RdxRunner::new(task.config).profile((task.make_stream)());
+                tx.send((i, profile)).expect("result collector alive");
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<RdxProfile>> = (0..task_count).map(|_| None).collect();
+        for (i, profile) in rx {
+            results[i] = Some(profile);
+        }
+        results
+            .into_iter()
+            .map(|p| p.expect("worker completed every claimed task"))
+            .collect()
+    })
+    .expect("batch worker panicked")
+}
+
+impl RdxRunner {
+    /// Profiles many streams under this runner's configuration on at
+    /// most `jobs` threads; results are in input order.
+    ///
+    /// See [`profile_batch`] for the execution model.
+    #[must_use]
+    pub fn profile_batch<S, F>(&self, streams: Vec<F>, jobs: usize) -> Vec<RdxProfile>
+    where
+        S: AccessStream,
+        F: FnOnce() -> S + Send,
+    {
+        profile_batch(
+            streams
+                .into_iter()
+                .map(|make_stream| BatchTask {
+                    config: *self.config(),
+                    make_stream,
+                })
+                .collect(),
+            jobs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_workloads::{by_name, DynStream, Params};
+
+    fn workload_params(k: u64) -> Params {
+        Params::default()
+            .with_accesses(20_000)
+            .with_elements(500 + 100 * k)
+    }
+
+    fn make_stream(name: &'static str, k: u64) -> impl FnOnce() -> DynStream + Send {
+        move || {
+            by_name(name)
+                .expect("registry workload")
+                .stream(&workload_params(k))
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out = profile_batch::<DynStream, fn() -> DynStream>(Vec::new(), 8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_in_order() {
+        let tasks = || {
+            (0..12u64)
+                .map(|k| BatchTask {
+                    config: RdxConfig::default().with_period(512 + 64 * k),
+                    make_stream: make_stream("zipf", k),
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = profile_batch(tasks(), 1);
+        let par = profile_batch(tasks(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.rd, b.rd);
+            assert_eq!(a.rt, b.rt);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.m_estimate, b.m_estimate);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped() {
+        let runner = RdxRunner::new(RdxConfig::default().with_period(256));
+        let streams: Vec<_> = (0..3u64).map(|k| make_stream("stream_triad", k)).collect();
+        let out = runner.profile_batch(streams, 64);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|p| p.accesses == 20_000));
+    }
+
+    #[test]
+    fn runner_batch_matches_individual_profiles() {
+        let runner = RdxRunner::new(RdxConfig::default().with_period(1024));
+        let individual: Vec<_> = (0..4u64)
+            .map(|k| runner.profile(make_stream("zipf", k)()))
+            .collect();
+        let streams: Vec<_> = (0..4u64).map(|k| make_stream("zipf", k)).collect();
+        let batched = runner.profile_batch(streams, 4);
+        for (a, b) in individual.iter().zip(&batched) {
+            assert_eq!(a.rd, b.rd);
+            assert_eq!(a.traps, b.traps);
+        }
+    }
+}

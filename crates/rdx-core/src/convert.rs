@@ -190,7 +190,12 @@ mod tests {
         let fp = WeightedFootprint::from_sampled(
             100_000,
             500.0,
-            &[(0, 40_000.0), (10, 30_000.0), (500, 20_000.0), (5_000, 9_500.0)],
+            &[
+                (0, 40_000.0),
+                (10, 30_000.0),
+                (500, 20_000.0),
+                (5_000, 9_500.0),
+            ],
         );
         let mut last = 0.0;
         let mut last_slope = f64::INFINITY;

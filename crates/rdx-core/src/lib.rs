@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod budget;
 mod config;
 pub mod convert;
@@ -58,6 +59,7 @@ mod report;
 mod runner;
 mod windows;
 
+pub use batch::{default_jobs, profile_batch, BatchTask};
 pub use config::{CensoringCorrection, ConversionMethod, RdxConfig, ReplacementPolicy};
 pub use convert::WeightedFootprint;
 pub use profiler::RdxProfiler;

@@ -69,8 +69,7 @@ impl RdxProfiler {
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.completed.capacity() * std::mem::size_of::<CompletedPair>()
-            + (self.evicted.capacity() + self.end_censored.capacity())
-                * std::mem::size_of::<u64>()
+            + (self.evicted.capacity() + self.end_censored.capacity()) * std::mem::size_of::<u64>()
     }
 
     fn evict_victim(&mut self, hw: &mut Hardware) -> Option<Slot> {
@@ -86,9 +85,7 @@ impl RdxProfiler {
             ReplacementPolicy::EvictOldest => {
                 armed.iter().min_by_key(|&&(_, at)| at).map(|&(s, _)| s)?
             }
-            ReplacementPolicy::EvictRandom => {
-                armed[self.rng.random_range(0..armed.len())].0
-            }
+            ReplacementPolicy::EvictRandom => armed[self.rng.random_range(0..armed.len())].0,
         };
         Some(slot)
     }
@@ -110,8 +107,7 @@ impl Profiler for RdxProfiler {
                 .collect();
             for slot in expired {
                 if let Some(info) = hw.disarm(slot) {
-                    self.evicted
-                        .push(now.saturating_sub(info.accesses_at_arm));
+                    self.evicted.push(now.saturating_sub(info.accesses_at_arm));
                 }
             }
         }
@@ -172,10 +168,7 @@ mod tests {
     use memsim::Machine;
     use rdx_trace::Trace;
 
-    fn run(
-        trace: &Trace,
-        config: RdxConfig,
-    ) -> (RdxProfiler, memsim::RunReport) {
+    fn run(trace: &Trace, config: RdxConfig) -> (RdxProfiler, memsim::RunReport) {
         let mut prof = RdxProfiler::new(&config);
         let report = Machine::new(config.machine).run(trace.stream(), &mut prof);
         (prof, report)

@@ -70,9 +70,7 @@ impl RdxRunner {
             }
             CensoringCorrection::Ipcw => {
                 let mut evict_obs: Vec<Observation> = Vec::with_capacity(
-                    profiler.completed.len()
-                        + profiler.evicted.len()
-                        + profiler.end_censored.len(),
+                    profiler.completed.len() + profiler.evicted.len() + profiler.end_censored.len(),
                 );
                 let mut reuse_obs: Vec<Observation> = Vec::with_capacity(evict_obs.capacity());
                 for p in &profiler.completed {
@@ -153,10 +151,8 @@ impl RdxRunner {
         }
 
         // --- Time → distance conversion -------------------------------
-        let scaled_pairs: Vec<(u64, f64)> = pair_weights
-            .iter()
-            .map(|&(t, w)| (t, w * scale))
-            .collect();
+        let scaled_pairs: Vec<(u64, f64)> =
+            pair_weights.iter().map(|&(t, w)| (t, w * scale)).collect();
         let mut rd = RdHistogram::new(cfg.binning);
         let mut footprint_bytes = 0usize;
         match cfg.conversion {
@@ -229,7 +225,11 @@ mod tests {
             h.finite_weight()
         );
         // m̂ should be small relative to n (few cold accesses)
-        assert!(profile.cold_fraction() < 0.05, "{}", profile.cold_fraction());
+        assert!(
+            profile.cold_fraction() < 0.05,
+            "{}",
+            profile.cold_fraction()
+        );
     }
 
     #[test]
@@ -251,7 +251,11 @@ mod tests {
         let trace = Trace::from_addresses("s", (0..200_000u64).map(|i| i * 8));
         let profile = RdxRunner::new(fixed(1000)).profile(trace.stream());
         assert_eq!(profile.traps, 0);
-        assert!(profile.cold_fraction() > 0.95, "{}", profile.cold_fraction());
+        assert!(
+            profile.cold_fraction() > 0.95,
+            "{}",
+            profile.cold_fraction()
+        );
         assert_eq!(profile.rd.as_histogram().finite_weight(), 0.0);
     }
 
@@ -292,10 +296,9 @@ mod tests {
         };
         let trace = Trace::from_addresses("r", addrs);
         let fp_profile = RdxRunner::new(fixed(300)).profile(trace.stream());
-        let naive_profile = RdxRunner::new(
-            fixed(300).with_conversion(ConversionMethod::TimeAsDistance),
-        )
-        .profile(trace.stream());
+        let naive_profile =
+            RdxRunner::new(fixed(300).with_conversion(ConversionMethod::TimeAsDistance))
+                .profile(trace.stream());
         let fp_mean = fp_profile.rd.as_histogram().finite_mean().unwrap();
         let naive_mean = naive_profile.rd.as_histogram().finite_mean().unwrap();
         // True mean distance for uniform-256 ≈ 255·(H(255)) style ≪ mean time.

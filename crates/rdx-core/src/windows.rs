@@ -96,10 +96,7 @@ impl RdxRunner {
                 break;
             }
         }
-        WindowedProfile {
-            windows,
-            merged_rd,
-        }
+        WindowedProfile { windows, merged_rd }
     }
 }
 
@@ -150,7 +147,12 @@ mod tests {
         let wp = runner().profile_windows(trace.stream(), 100_000);
         let changes = wp.phase_changes(0.5);
         // the single real phase change is between windows 3 and 4
-        assert_eq!(changes, vec![3], "divergences: {:?}", wp.phase_divergences());
+        assert_eq!(
+            changes,
+            vec![3],
+            "divergences: {:?}",
+            wp.phase_divergences()
+        );
     }
 
     #[test]
@@ -161,15 +163,25 @@ mod tests {
         let trace = two_phase_trace();
         let wp = runner().profile_windows(trace.stream(), 100_000);
         let h = wp.merged_rd.as_histogram();
-        let small: f64 = h.buckets().filter(|b| b.range.hi <= 64).map(|b| b.weight).sum();
+        let small: f64 = h
+            .buckets()
+            .filter(|b| b.range.hi <= 64)
+            .map(|b| b.weight)
+            .sum();
         let large: f64 = h
             .buckets()
             .filter(|b| b.range.lo >= 1024)
             .map(|b| b.weight)
             .sum();
         let fin = h.finite_weight();
-        assert!(small > 0.3 * fin, "small-distance phase visible: {small} of {fin}");
-        assert!(large > 0.3 * fin, "large-distance phase visible: {large} of {fin}");
+        assert!(
+            small > 0.3 * fin,
+            "small-distance phase visible: {small} of {fin}"
+        );
+        assert!(
+            large > 0.3 * fin,
+            "large-distance phase visible: {large} of {fin}"
+        );
     }
 
     #[test]

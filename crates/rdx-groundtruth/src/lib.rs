@@ -41,9 +41,11 @@
 pub mod exact;
 pub mod footprint;
 mod olken;
+pub mod sharded;
 mod structure;
 
 pub use exact::{brute_force_rd, ExactProfile};
 pub use footprint::FootprintCurve;
 pub use olken::OlkenTracker;
+pub use sharded::ShardedExact;
 pub use structure::{DistanceStructure, FenwickStructure, SplayStructure, TreapStructure};

@@ -197,7 +197,9 @@ impl TreapStructure {
 
     fn update(&mut self, n: u32) {
         if n != NIL {
-            let s = 1 + self.size(self.arena[n as usize].left) + self.size(self.arena[n as usize].right);
+            let s = 1
+                + self.size(self.arena[n as usize].left)
+                + self.size(self.arena[n as usize].right);
             self.arena[n as usize].size = s;
         }
     }
@@ -370,7 +372,9 @@ impl SplayStructure {
 
     fn update(&mut self, n: u32) {
         if n != NIL {
-            let s = 1 + self.size(self.arena[n as usize].left) + self.size(self.arena[n as usize].right);
+            let s = 1
+                + self.size(self.arena[n as usize].left)
+                + self.size(self.arena[n as usize].right);
             self.arena[n as usize].size = s;
         }
     }
@@ -584,6 +588,27 @@ impl SplayStructure {
     }
 }
 
+impl SplayStructure {
+    /// Validates parent pointers, size fields and acyclicity, returning the
+    /// number of reachable nodes. Test/debug helper.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) -> u64 {
+        fn walk(s: &SplayStructure, n: u32, parent: u32, depth: u32) -> u64 {
+            assert!(depth < 10_000, "tree too deep: cycle suspected");
+            if n == NIL {
+                return 0;
+            }
+            let node = &s.arena[n as usize];
+            assert_eq!(node.parent, parent, "parent pointer of key {}", node.key);
+            let l = walk(s, node.left, n, depth + 1);
+            let r = walk(s, node.right, n, depth + 1);
+            assert_eq!(u64::from(node.size), l + r + 1, "size of key {}", node.key);
+            l + r + 1
+        }
+        walk(self, self.root, NIL, 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,7 +685,9 @@ mod tests {
         let mut oracle: Vec<u64> = Vec::new();
         let mut state = 12345u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut next_t = 0u64;
@@ -747,7 +774,11 @@ mod tests {
         for i in 100..200 {
             t.insert_latest(i);
         }
-        assert_eq!(t.memory_bytes(), cap_after_churn, "free list must be reused");
+        assert_eq!(
+            t.memory_bytes(),
+            cap_after_churn,
+            "free list must be reused"
+        );
     }
 
     #[test]
@@ -764,26 +795,5 @@ mod tests {
         // odds remain: count_greater(249) = number of odds > 249 = 125
         assert_eq!(s.count_greater(249), 125);
         assert_eq!(s.count_greater(499), 0);
-    }
-}
-
-impl SplayStructure {
-    /// Validates parent pointers, size fields and acyclicity, returning the
-    /// number of reachable nodes. Test/debug helper.
-    #[doc(hidden)]
-    pub fn debug_validate(&self) -> u64 {
-        fn walk(s: &SplayStructure, n: u32, parent: u32, depth: u32) -> u64 {
-            assert!(depth < 10_000, "tree too deep: cycle suspected");
-            if n == NIL {
-                return 0;
-            }
-            let node = &s.arena[n as usize];
-            assert_eq!(node.parent, parent, "parent pointer of key {}", node.key);
-            let l = walk(s, node.left, n, depth + 1);
-            let r = walk(s, node.right, n, depth + 1);
-            assert_eq!(u64::from(node.size), l + r + 1, "size of key {}", node.key);
-            l + r + 1
-        }
-        walk(self, self.root, NIL, 0)
     }
 }

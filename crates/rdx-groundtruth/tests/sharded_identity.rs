@@ -1,0 +1,53 @@
+//! The acceptance bar for the sharded engine: on **every** workload in
+//! the registry, the parallel sharded ground truth must produce
+//! histograms with *identical counts in every bucket* to the sequential
+//! Olken measurement — same binning, same observation counts, same cold
+//! weight — plus matching access/distinct-block totals.
+
+use rdx_groundtruth::{ExactProfile, ShardedExact};
+use rdx_histogram::Binning;
+use rdx_trace::Granularity;
+use rdx_workloads::{suite, Params};
+
+fn small_params() -> Params {
+    Params::default().with_accesses(30_000).with_elements(1_500)
+}
+
+#[test]
+fn sharded_matches_sequential_on_full_registry() {
+    let params = small_params();
+    let engine = ShardedExact::new(4).with_chunk_capacity(1 << 12);
+    for w in suite() {
+        let seq = ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2());
+        let par = engine.measure(w.stream(&params), Granularity::WORD, Binning::log2());
+        assert_eq!(seq.rd, par.rd, "{}: rd histogram mismatch", w.name);
+        assert_eq!(seq.rt, par.rt, "{}: rt histogram mismatch", w.name);
+        assert_eq!(seq.accesses, par.accesses, "{}: access count", w.name);
+        assert_eq!(
+            seq.distinct_blocks, par.distinct_blocks,
+            "{}: distinct blocks",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_at_line_granularity_and_linear_binning() {
+    let params = small_params();
+    let engine = ShardedExact::new(3);
+    for name in ["zipf", "stream_triad", "lru_adversary"] {
+        let w = rdx_workloads::by_name(name).expect("registry workload");
+        let seq = ExactProfile::measure(
+            w.stream(&params),
+            Granularity::CACHE_LINE,
+            Binning::linear(1),
+        );
+        let par = engine.measure(
+            w.stream(&params),
+            Granularity::CACHE_LINE,
+            Binning::linear(1),
+        );
+        assert_eq!(seq.rd, par.rd, "{name}: rd histogram mismatch");
+        assert_eq!(seq.rt, par.rt, "{name}: rt histogram mismatch");
+    }
+}

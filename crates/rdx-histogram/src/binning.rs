@@ -111,7 +111,7 @@ impl Binning {
                 let base = 1u64 << octave;
                 // Sub-bucket within [2^o, 2^(o+1)); use 128-bit arithmetic so
                 // that octave 63 cannot overflow.
-                let off = ((v - base) as u128 * subs as u128 >> octave) as usize;
+                let off = (((v - base) as u128 * subs as u128) >> octave) as usize;
                 // Buckets: 0 -> {0}, 1 -> {1}, then octaves 1.. each with
                 // `subs` sub-buckets.
                 2 + (octave as usize - 1) * subs as usize + off.min(subs as usize - 1)
@@ -154,7 +154,7 @@ impl Binning {
                 // `index_of` maps v to sub-bucket floor((v-base)·subs/base),
                 // so the smallest value in sub-bucket s is
                 // base + ceil(s·base/subs); use ceiling division to match.
-                let ceil_div = |num: u128, den: u128| ((num + den - 1) / den) as u64;
+                let ceil_div = |num: u128, den: u128| num.div_ceil(den) as u64;
                 let lo = base + ceil_div(base as u128 * sub as u128, subs as u128);
                 let hi = if sub as u32 + 1 == subs {
                     base.saturating_mul(2)

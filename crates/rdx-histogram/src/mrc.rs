@@ -70,10 +70,7 @@ impl MissRatioCurve {
     /// assuming uniform weight within each histogram bucket.
     #[must_use]
     pub fn miss_ratio(&self, capacity: u64) -> f64 {
-        match self
-            .points
-            .binary_search_by_key(&capacity, |&(cap, _)| cap)
-        {
+        match self.points.binary_search_by_key(&capacity, |&(cap, _)| cap) {
             Ok(i) => self.points[i].1,
             Err(0) => 1.0,
             Err(i) if i == self.points.len() => self.floor,

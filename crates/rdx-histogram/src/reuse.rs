@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn ordering_places_infinite_last() {
-        let mut v = vec![
+        let mut v = [
             ReuseDistance::INFINITE,
             ReuseDistance::finite(10),
             ReuseDistance::finite(2),

@@ -11,6 +11,8 @@
 //! * [`Granularity`] — byte ↔ cache-line ↔ word address mapping. Reuse
 //!   distance is measured at a chosen granularity (the paper uses cache
 //!   lines, a.k.a. data blocks of 64 bytes).
+//! * [`Chunker`] / [`Chunk`] — bounded-size, globally-indexed chunking of
+//!   a stream, the transport unit of the parallel measurement paths.
 //! * [`io`] — a compact binary trace format (magic + version header,
 //!   delta-encoded addresses) for persisting traces.
 //! * [`TraceStats`] — single-pass summary statistics of a stream.
@@ -29,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunk;
 mod event;
 pub mod io;
 mod stats;
 mod stream;
 mod trace;
 
+pub use chunk::{Chunk, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
 pub use stats::TraceStats;
 pub use stream::{AccessStream, FnStream, Take};

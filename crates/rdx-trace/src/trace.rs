@@ -27,10 +27,7 @@ impl Trace {
 
     /// Builds a trace of loads from raw addresses.
     #[must_use]
-    pub fn from_addresses(
-        name: impl Into<String>,
-        addrs: impl IntoIterator<Item = u64>,
-    ) -> Self {
+    pub fn from_addresses(name: impl Into<String>, addrs: impl IntoIterator<Item = u64>) -> Self {
         Trace {
             name: name.into(),
             accesses: addrs.into_iter().map(Access::load).collect(),

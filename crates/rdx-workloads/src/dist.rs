@@ -129,7 +129,12 @@ mod tests {
             counts[s as usize] += 1;
         }
         // rank 0 must be much hotter than mid ranks
-        assert!(counts[0] > 20 * counts[500].max(1), "{} vs {}", counts[0], counts[500]);
+        assert!(
+            counts[0] > 20 * counts[500].max(1),
+            "{} vs {}",
+            counts[0],
+            counts[500]
+        );
         // the tail is still reachable
         assert!(counts[500..].iter().sum::<u64>() > 0);
     }
@@ -200,7 +205,10 @@ mod tests {
             let mut seen = vec![false; n];
             let mut cur = 0u32;
             for _ in 0..n {
-                assert!(!seen[cur as usize], "revisited {cur} before full cycle (n={n})");
+                assert!(
+                    !seen[cur as usize],
+                    "revisited {cur} before full cycle (n={n})"
+                );
                 seen[cur as usize] = true;
                 cur = next[cur as usize];
             }

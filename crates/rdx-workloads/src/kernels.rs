@@ -227,7 +227,7 @@ pub(crate) fn spmv(p: &Params) -> DynStream {
         if lane == 3 {
             lane = 0;
             k += 1;
-            if k % 8 == 0 {
+            if k.is_multiple_of(8) {
                 row = (row + 1) % rows;
                 pending_store = Some(row);
             }
@@ -566,7 +566,11 @@ mod tests {
     fn stream_triad_mixes_loads_and_stores() {
         let p = small();
         let s = stats(stream_triad, &p);
-        assert!((s.store_ratio() - 1.0 / 3.0).abs() < 0.01, "{}", s.store_ratio());
+        assert!(
+            (s.store_ratio() - 1.0 / 3.0).abs() < 0.01,
+            "{}",
+            s.store_ratio()
+        );
     }
 
     #[test]

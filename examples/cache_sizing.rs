@@ -28,10 +28,7 @@ fn main() {
         // knee: smallest capacity whose miss ratio is within 10% of floor
         let target = (mrc.floor() * 1.1).max(mrc.floor() + 0.01);
         let knee_words = mrc.capacity_for_miss_ratio(target);
-        let knee = knee_words.map_or_else(
-            || "> footprint".to_string(),
-            |wds| human_bytes(wds * 8),
-        );
+        let knee = knee_words.map_or_else(|| "> footprint".to_string(), |wds| human_bytes(wds * 8));
         let levels_pred = predict::miss_ratios(&profile.rd, &levels, 8);
         println!(
             "{:16} {:>14} {:>9.1}% {:>9.1}% {:>9.1}%",

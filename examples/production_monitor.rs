@@ -43,15 +43,10 @@ fn main() {
             degraded.stream(&params)
         };
         let profile = runner.profile(&mut stream);
-        let mean_rd = profile
-            .rd
-            .as_histogram()
-            .finite_mean()
-            .unwrap_or(f64::NAN);
+        let mean_rd = profile.rd.as_histogram().finite_mean().unwrap_or(f64::NAN);
         let divergence = match &last {
             None => 0.0,
-            Some(prev) => total_variation(profile.rd.as_histogram(), prev)
-                .expect("same binning"),
+            Some(prev) => total_variation(profile.rd.as_histogram(), prev).expect("same binning"),
         };
         let status = if divergence > 0.3 {
             "ALERT: locality regression"

@@ -23,9 +23,15 @@ fn main() {
     //    kernel would on real hardware.
     let profile = RdxRunner::new(config).profile(workload.stream(&params));
 
-    println!("workload          : {} ({})", workload.name, workload.spec_analog);
+    println!(
+        "workload          : {} ({})",
+        workload.name, workload.spec_analog
+    );
     println!("accesses          : {}", profile.accesses);
-    println!("samples / traps   : {} / {}", profile.samples, profile.traps);
+    println!(
+        "samples / traps   : {} / {}",
+        profile.samples, profile.traps
+    );
     println!("est. distinct     : {:.0} blocks", profile.m_estimate);
     println!(
         "time overhead     : {:.2}% (demo samples 32x denser than production;\n                    at the paper's 64Ki period this is ≈5% — see exp_fig_time_overhead)",
@@ -50,7 +56,8 @@ fn main() {
     }
     println!(
         "  {:>20}  {:5.1}%  (cold: first touches)",
-        "", h.infinite_weight() * 100.0
+        "",
+        h.infinite_weight() * 100.0
     );
 
     // 5. And what it predicts: the LRU miss-ratio curve.

@@ -15,7 +15,9 @@ use rdx::traces::Granularity;
 use rdx::workloads::{by_name, Params};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "hash_probe".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hash_probe".into());
     let Some(workload) = by_name(&name) else {
         eprintln!("unknown workload '{name}'");
         std::process::exit(1);
@@ -23,16 +25,15 @@ fn main() {
     let params = Params::default().with_accesses(4_000_000);
     let (base_cycles, callback_cycles) = (3.0, 250.0);
 
-    let truth = ExactProfile::measure(
-        workload.stream(&params),
-        Granularity::WORD,
-        Binning::log2(),
-    );
+    let truth = ExactProfile::measure(workload.stream(&params), Granularity::WORD, Binning::log2());
     let acc = |h: &rdx::histogram::Histogram| {
         histogram_intersection(h, truth.rd.as_histogram()).expect("same binning") * 100.0
     };
 
-    println!("workload: {} ({} accesses)\n", workload.name, params.accesses);
+    println!(
+        "workload: {} ({} accesses)\n",
+        workload.name, params.accesses
+    );
     println!(
         "{:22} {:>10} {:>12} {:>12}",
         "tool", "accuracy", "slowdown", "tool memory"

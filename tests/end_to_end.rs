@@ -16,8 +16,7 @@ fn accuracy_of(workload: &str, params: &Params, config: RdxConfig) -> f64 {
     let w = by_name(workload).expect("workload exists");
     let exact = ExactProfile::measure(w.stream(params), Granularity::WORD, config.binning);
     let est = RdxRunner::new(config).profile(w.stream(params));
-    histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram())
-        .expect("same binning")
+    histogram_intersection(est.rd.as_histogram(), exact.rd.as_histogram()).expect("same binning")
 }
 
 fn test_params() -> Params {

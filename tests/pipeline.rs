@@ -11,7 +11,9 @@ use rdx::traces::{io, AccessStream, Granularity, Trace, TraceStats};
 use rdx::workloads::{by_name, Params};
 
 fn small_params() -> Params {
-    Params::default().with_accesses(200_000).with_elements(5_000)
+    Params::default()
+        .with_accesses(200_000)
+        .with_elements(5_000)
 }
 
 #[test]
@@ -67,13 +69,18 @@ fn full_instrumentation_baseline_is_exact() {
     let full = tool.profile(w.stream(&params));
     let exact = ExactProfile::measure(w.stream(&params), Granularity::WORD, Binning::log2());
     let acc = histogram_intersection(full.rd.as_histogram(), exact.rd.as_histogram()).unwrap();
-    assert!((acc - 1.0).abs() < 1e-9, "full instrumentation must be exact");
+    assert!(
+        (acc - 1.0).abs() < 1e-9,
+        "full instrumentation must be exact"
+    );
 }
 
 #[test]
 fn shards_converges_to_exact_with_rate() {
     let w = by_name("random_uniform").unwrap();
-    let params = Params::default().with_accesses(300_000).with_elements(3_000);
+    let params = Params::default()
+        .with_accesses(300_000)
+        .with_elements(3_000);
     let exact = ExactProfile::measure(
         w.stream(&params),
         Granularity::default(),
@@ -85,8 +92,14 @@ fn shards_converges_to_exact_with_rate() {
     };
     let coarse = acc_at(0.01);
     let fine = acc_at(0.3);
-    assert!(fine > coarse - 0.02, "more sampling must not hurt: {fine} vs {coarse}");
-    assert!(fine > 0.9, "30% spatial sampling should be near-exact: {fine}");
+    assert!(
+        fine > coarse - 0.02,
+        "more sampling must not hurt: {fine} vs {coarse}"
+    );
+    assert!(
+        fine > 0.9,
+        "30% spatial sampling should be near-exact: {fine}"
+    );
 }
 
 #[test]
@@ -106,7 +119,10 @@ fn footprint_theory_predicts_cyclic_distance() {
     }
     let exact = ExactProfile::measure(trace.stream(), Granularity::BYTE, Binning::linear(1));
     // all finite reuses at distance k−1
-    assert_eq!(exact.rd.as_histogram().weight_for(k - 1), (20_000 - k) as f64);
+    assert_eq!(
+        exact.rd.as_histogram().weight_for(k - 1),
+        (20_000 - k) as f64
+    );
 }
 
 #[test]

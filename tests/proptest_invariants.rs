@@ -116,3 +116,16 @@ proptest! {
         prop_assert!(coarse.distinct_blocks() <= fine.distinct_blocks());
     }
 }
+
+/// Historical shrink from `proptest_invariants.proptest-regressions`,
+/// pinned as an explicit case because the vendored proptest shim does not
+/// replay that file: a 2^62 address delta zigzags into the top bit of a
+/// u64, and with the kind bit appended the record only fits a u128
+/// varint — the widest record the codec must round-trip.
+#[test]
+fn regression_trace_io_roundtrip_two_pow_62_delta() {
+    let accesses = [(0u64, false), (4_611_686_018_427_387_904u64, false)];
+    let trace: Trace = accesses.iter().copied().collect();
+    let back = io::from_bytes(io::to_bytes(&trace)).expect("roundtrip");
+    assert_eq!(trace.accesses(), back.accesses());
+}

@@ -1,0 +1,182 @@
+//! Vendored `criterion` facade: same macro/builder surface, minimal
+//! harness.
+//!
+//! Each benchmark runs a short warm-up followed by a handful of timed
+//! iterations and prints the best observed time (plus throughput when
+//! configured). No statistics, plots, or baselines — just enough to run
+//! `cargo bench` offline and eyeball hot-path regressions.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Measurement loop handle passed to benchmark closures.
+pub struct Bencher {
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of a few batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        const BATCHES: u32 = 5;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function/input`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        best: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    let best = if b.iters == 0 { Duration::ZERO } else { b.best };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if best > Duration::ZERO => {
+            format!("  ({:.1} Melem/s)", n as f64 / best.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if best > Duration::ZERO => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / best.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<50} {best:>12.3?}{rate}");
+}
+
+/// Benchmark registry/driver with criterion's builder API.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, x| {
+            b.iter(|| std::hint::black_box(*x * 2))
+        });
+        group.finish();
+        assert!(hits >= 1);
+    }
+}

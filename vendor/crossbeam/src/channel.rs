@@ -1,0 +1,140 @@
+//! Channels with crossbeam's constructor names, over `std::sync::mpsc`.
+
+use std::sync::mpsc;
+
+pub use mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of a channel (clonable: multiple producers).
+pub struct Sender<T> {
+    inner: SenderKind<T>,
+}
+
+enum SenderKind<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+            SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+        };
+        Sender { inner }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiving side has disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderKind::Bounded(s) => s.send(value),
+            SenderKind::Unbounded(s) => s.send(value),
+        }
+    }
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value.
+    ///
+    /// # Errors
+    ///
+    /// Fails once the channel is empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the channel is currently empty or disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Iterates until the channel closes.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight values.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderKind::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// Creates a channel with unlimited buffering.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            inner: SenderKind::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_roundtrip_in_order() {
+        let (tx, rx) = bounded(2);
+        std::thread::spawn(move || {
+            for i in 0..10u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unbounded_multi_producer() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u8).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let mut got: Vec<u8> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

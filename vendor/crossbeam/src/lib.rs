@@ -1,0 +1,14 @@
+//! Vendored `crossbeam` facade built on `std`.
+//!
+//! Provides `crossbeam::scope` (scoped spawn whose closure receives a
+//! `&Scope`, and whose panics surface as `Err` from `scope` rather than
+//! unwinding through the caller) and `crossbeam::channel`
+//! (`bounded`/`unbounded` MPSC wrappers over `std::sync::mpsc`). The
+//! differences from the real crate — channels here are MPSC rather than
+//! MPMC, and `Receiver` is not `Clone` — don't matter to this
+//! workspace, which fans work out via one consumer per channel.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::{scope, Scope, ScopedJoinHandle};

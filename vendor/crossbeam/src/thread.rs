@@ -1,0 +1,111 @@
+//! Scoped threads with crossbeam's `scope(|s| ...) -> Result<R>` shape,
+//! implemented over `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The payload of a panicked scoped thread.
+pub type Payload = Box<dyn Any + Send + 'static>;
+
+/// `Ok(r)` if every spawned thread completed, `Err(payload)` if any
+/// panicked (the first payload std happened to propagate).
+pub type Result<T> = std::result::Result<T, Payload>;
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its value or its panic
+    /// payload.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+/// A scope in which threads borrowing local data can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let nested = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&nested)),
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins all spawned threads before
+/// returning. A panic in any spawned thread is reported as `Err` rather
+/// than unwinding through the caller.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope itself panics (after joining everything) when a
+    // spawned thread panicked; catch that to match crossbeam's contract.
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicU32::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7u32
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 41u64 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn child_panic_is_err_not_unwind() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 5u8).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Vendored, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace pins `rand` to this local implementation. Only the surface
+//! actually used by the workspace is provided: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] extension trait
+//! (`random`, `random_range`).
+//!
+//! `SmallRng` is xoshiro256++ (the same family the real `rand` uses for
+//! its small RNG), seeded through SplitMix64. Range sampling uses
+//! Lemire's widening-multiply method with rejection, so it is unbiased;
+//! `random::<f64>()` uses the standard 53-bit mantissa conversion. The
+//! workspace's statistical tests (normal moments, Zipf skew, jittered
+//! PMU periods) run against this generator.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+
+mod range;
+pub use range::SampleRange;
+
+/// Minimal core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        // Upper bits of xoshiro output have the best equidistribution.
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled from an RNG's "standard" distribution:
+/// uniform over all values for integers/bool, uniform in `[0, 1)` for
+/// floats. Mirrors `rand`'s `StandardUniform` distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Construction of reproducible RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a 64-bit state, expanding it with SplitMix64
+    /// (so nearby seeds still yield uncorrelated streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods for ergonomic sampling, mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// Samples a value from the standard distribution (uniform bits for
+    /// integers, `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_uniform(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_is_unbiased_over_small_span() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.random_range(0..3usize)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            match rng.random_range(5u64..=8) {
+                5 => lo = true,
+                8 => hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        // span of u64::MAX + 1 must not panic or bias.
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+}

@@ -1,0 +1,86 @@
+//! Uniform range sampling (Lemire widening multiply with rejection).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range that can produce a uniform sample. Mirrors
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if empty.
+    fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` for `span >= 1`, unbiased.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Lemire's method: m = x * span is uniform over [0, 2^64 * span);
+    // the high word is the sample, the low word detects the biased zone.
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        // threshold = 2^64 mod span
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Uniform over an inclusive span `[0, span_minus_one]` where the span
+/// may cover the whole `u64` domain.
+fn uniform_inclusive<R: RngCore + ?Sized>(rng: &mut R, span_minus_one: u64) -> u64 {
+    if span_minus_one == u64::MAX {
+        rng.next_u64()
+    } else {
+        uniform_below(rng, span_minus_one + 1)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span_minus_one = (end as u64).wrapping_sub(start as u64);
+                start.wrapping_add(uniform_inclusive(rng, span_minus_one) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32 => u32, i64 => u64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}

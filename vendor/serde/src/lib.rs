@@ -1,0 +1,21 @@
+//! Vendored, dependency-free facade for `serde`.
+//!
+//! The workspace annotates config/snapshot types with
+//! `#[derive(Serialize, Deserialize)]` but never actually serializes
+//! anything (there is no `serde_json` or other format crate in the
+//! dependency graph). Since the build environment is offline, this stub
+//! provides just enough for those derives to compile: the two trait
+//! names and derive macros that expand to nothing.
+//!
+//! If a future PR adds real serialization, this facade must be replaced
+//! by the real `serde` (or the traits here must grow real methods).
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

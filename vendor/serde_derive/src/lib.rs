@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation
+//! value but never serializes, so the derives expand to nothing. No
+//! trait impls are emitted; nothing in the workspace requires the
+//! bounds.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
