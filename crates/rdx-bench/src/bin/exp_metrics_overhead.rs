@@ -1,0 +1,65 @@
+//! S1 — self-overhead of the rdx-metrics observability layer.
+//!
+//! Profiles the whole workload registry and reports wall time per
+//! access. Build and run twice to compare collection cost against the
+//! no-op baseline:
+//!
+//! ```text
+//! cargo run --release -p rdx-bench --bin exp_metrics_overhead
+//! cargo run --release -p rdx-bench --bin exp_metrics_overhead --features metrics
+//! ```
+//!
+//! The probes are relaxed atomic increments and a handful of clock
+//! reads per profile, against a hot loop that does real work per
+//! access — the enabled build should sit within noise of the no-op
+//! build. With metrics enabled the run also prints the registry
+//! snapshot so the span totals can be eyeballed against the wall time.
+
+use rdx_bench::per_workload;
+use rdx_core::RdxRunner;
+use rdx_workloads::Params;
+use std::time::Instant;
+
+/// Timed repetitions; the minimum round filters scheduler noise.
+const ROUNDS: usize = 5;
+
+fn main() {
+    let params = Params::default().with_accesses(1_000_000);
+    let config = rdx_bench::paper_config();
+    println!(
+        "S1: profiling wall time per access, metrics {} ({} accesses/workload, {ROUNDS} rounds)\n",
+        if rdx_metrics::enabled() {
+            "ENABLED"
+        } else {
+            "disabled (no-op probes)"
+        },
+        params.accesses,
+    );
+
+    let mut per_round_ns_per_access = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        rdx_metrics::reset();
+        let start = Instant::now();
+        let rows = per_workload(|w| RdxRunner::new(config).profile(w.stream(&params)).accesses);
+        let elapsed = start.elapsed();
+        let accesses: u64 = rows.iter().map(|(_, n)| n).sum();
+        let ns_per_access = elapsed.as_nanos() as f64 / accesses as f64;
+        per_round_ns_per_access.push(ns_per_access);
+        println!(
+            "round {round}: {accesses} accesses in {:.3} s  ({ns_per_access:.2} ns/access)",
+            elapsed.as_secs_f64()
+        );
+    }
+    let min = per_round_ns_per_access
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let mean: f64 =
+        per_round_ns_per_access.iter().sum::<f64>() / per_round_ns_per_access.len() as f64;
+    println!("\nmin {min:.2} ns/access   mean {mean:.2} ns/access");
+
+    if rdx_metrics::enabled() {
+        println!("\nregistry after the last round:");
+        println!("{}", rdx_metrics::snapshot().to_json());
+    }
+}

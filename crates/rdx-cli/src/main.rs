@@ -3,20 +3,27 @@
 //! ```text
 //! rdx list
 //! rdx profile <workload> [--accesses N] [--elements N] [--period N]
-//!             [--seed N] [--registers N] [--jobs N] [--exact] [--mrc] [--csv]
+//!             [--seed N] [--registers N] [--jobs N] [--exact] [--mrc]
+//!             [--csv] [--metrics]
 //! rdx suite [--accesses N] [--elements N] [--period N] [--seed N]
-//!           [--jobs N] [--csv]
+//!           [--jobs N] [--csv] [--metrics]
+//! rdx trace <file>
 //! ```
 //!
 //! `--jobs N` parallelizes: `suite` fans workloads over `N` profiler
 //! threads (deterministic, same output as `--jobs 1`), and `profile
 //! --exact` measures ground truth with `N` shards.
+//!
+//! `--metrics` appends a JSON observability report (from `rdx-metrics`)
+//! that crosschecks the registry counters against the profile fields;
+//! a mismatch is a failure. `rdx trace <file>` validates a serialized
+//! trace, reporting decode errors instead of crashing on corrupt input.
 
 use rdx_core::{profile_batch, BatchTask, RdxConfig, RdxProfile, RdxRunner};
 use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_histogram::{Binning, Histogram};
-use rdx_trace::Granularity;
+use rdx_trace::{AccessKind, Granularity, TraceReader};
 use rdx_workloads::{by_name, suite, Params};
 use std::process::ExitCode;
 
@@ -24,8 +31,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rdx list\n  rdx profile <workload> [--accesses N] [--elements N] \
          [--period N]\n              [--seed N] [--registers N] [--jobs N] [--exact] \
-         [--mrc] [--csv]\n  rdx suite [--accesses N] [--elements N] [--period N] \
-         [--seed N] [--jobs N] [--csv]"
+         [--mrc] [--csv] [--metrics]\n  rdx suite [--accesses N] [--elements N] \
+         [--period N] [--seed N] [--jobs N] [--csv]\n            [--metrics]\n  \
+         rdx trace <file>"
     );
     ExitCode::FAILURE
 }
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
         }
         Some("profile") => profile(&args[1..]),
         Some("suite") => suite_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -58,6 +67,7 @@ struct Opts {
     exact: bool,
     mrc: bool,
     csv: bool,
+    metrics: bool,
 }
 
 impl Opts {
@@ -73,10 +83,11 @@ impl Opts {
                 return Err(format!("unknown flag '{flag}'"));
             }
             match flag {
-                "--exact" | "--mrc" | "--csv" => {
+                "--exact" | "--mrc" | "--csv" | "--metrics" => {
                     let slot = match flag {
                         "--exact" => &mut opts.exact,
                         "--mrc" => &mut opts.mrc,
+                        "--metrics" => &mut opts.metrics,
                         _ => &mut opts.csv,
                     };
                     if *slot {
@@ -152,6 +163,7 @@ const PROFILE_FLAGS: &[&str] = &[
     "--exact",
     "--mrc",
     "--csv",
+    "--metrics",
 ];
 
 const SUITE_FLAGS: &[&str] = &[
@@ -161,6 +173,7 @@ const SUITE_FLAGS: &[&str] = &[
     "--period",
     "--jobs",
     "--csv",
+    "--metrics",
 ];
 
 fn profile(args: &[String]) -> ExitCode {
@@ -182,6 +195,9 @@ fn profile(args: &[String]) -> ExitCode {
     let config = opts.config();
     let csv = opts.csv;
 
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
     let profile = RdxRunner::new(config).profile(workload.stream(&params));
     if !csv {
         println!(
@@ -230,6 +246,9 @@ fn profile(args: &[String]) -> ExitCode {
         print_histogram(exact.rd.as_histogram(), csv);
         println!("\naccuracy vs ground truth: {:.1}%", acc * 100.0);
     }
+    if opts.metrics {
+        return emit_metrics_report(&[(workload.name.to_string(), profile)]);
+    }
     ExitCode::SUCCESS
 }
 
@@ -247,6 +266,9 @@ fn suite_cmd(args: &[String]) -> ExitCode {
     let config = opts.config();
     let jobs = opts.jobs();
 
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
     let tasks: Vec<_> = suite()
         .iter()
         .map(|w| BatchTask {
@@ -295,6 +317,156 @@ fn suite_cmd(args: &[String]) -> ExitCode {
         let total: u64 = profiles.iter().map(|p: &RdxProfile| p.accesses).sum();
         println!("\ntotal accesses profiled: {total}");
     }
+    if opts.metrics {
+        let rows: Vec<(String, RdxProfile)> = suite()
+            .iter()
+            .map(|w| w.name.to_string())
+            .zip(profiles)
+            .collect();
+        return emit_metrics_report(&rows);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Counter names whose registry totals must equal the summed profile
+/// fields — the observability layer is only trustworthy if it agrees
+/// exactly with the numbers the profiler itself reports.
+fn crosscheck_rows(rows: &[(String, RdxProfile)]) -> [(&'static str, u64); 6] {
+    let sum = |f: fn(&RdxProfile) -> u64| rows.iter().map(|(_, p)| f(p)).sum();
+    [
+        ("rdx.profiler.samples", sum(|p| p.samples)),
+        ("rdx.profiler.traps", sum(|p| p.traps)),
+        ("rdx.profiler.evictions", sum(|p| p.evictions)),
+        ("rdx.profiler.end_censored", sum(|p| p.end_censored)),
+        ("rdx.profiler.dropped_samples", sum(|p| p.dropped_samples)),
+        (
+            "rdx.profiler.duplicate_samples",
+            sum(|p| p.duplicate_samples),
+        ),
+    ]
+}
+
+/// Prints the `--metrics` JSON report: per-workload profile counters,
+/// the counter crosscheck, and the full registry snapshot. Returns
+/// FAILURE when a crosscheck row disagrees (collection bug), SUCCESS
+/// otherwise. With metrics compiled out the report says so and the
+/// crosscheck is skipped.
+fn emit_metrics_report(rows: &[(String, RdxProfile)]) -> ExitCode {
+    use std::fmt::Write as _;
+    let snap = rdx_metrics::snapshot();
+    let checks = crosscheck_rows(rows);
+    let matched = !rdx_metrics::enabled()
+        || checks
+            .iter()
+            .all(|&(name, want)| snap.counter(name).unwrap_or(0) == want);
+
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(out, "\"enabled\":{},", rdx_metrics::enabled());
+    out.push_str("\"workloads\":[");
+    for (i, (name, p)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"accesses\":{},\"samples\":{},\"traps\":{},\
+             \"evictions\":{},\"end_censored\":{},\"dropped_samples\":{},\
+             \"duplicate_samples\":{}}}",
+            p.accesses,
+            p.samples,
+            p.traps,
+            p.evictions,
+            p.end_censored,
+            p.dropped_samples,
+            p.duplicate_samples
+        );
+    }
+    out.push_str("],\"crosscheck\":[");
+    for (i, &(name, want)) in checks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let got = snap.counter(name).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"counter\":\"{name}\",\"expected\":{want},\"observed\":{got},\
+             \"matched\":{}}}",
+            !rdx_metrics::enabled() || got == want
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"matched\":{matched},\"registry\":{}",
+        snap.to_json()
+    );
+    out.push('}');
+
+    println!("\nmetrics report:");
+    println!("{out}");
+    if !rdx_metrics::enabled() {
+        eprintln!("note: this binary was built without the `metrics` feature; probes are no-ops");
+        return ExitCode::SUCCESS;
+    }
+    if matched {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: metrics counters disagree with profile fields (see crosscheck)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates a serialized trace file, streaming through every record.
+/// Corrupt or truncated input is reported as a decode error with the
+/// position reached — never a panic.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total_bytes = bytes.len();
+    let mut reader = match TraceReader::new(bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: '{path}' is not an RDX trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (mut loads, mut stores) = (0u64, 0u64);
+    loop {
+        match reader.try_next() {
+            Ok(Some(a)) => match a.kind {
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            },
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!(
+                    "error: '{path}' is corrupt after {} of {} declared accesses: {e}",
+                    reader.decoded(),
+                    reader.declared_len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let name = reader.name().to_string();
+    if let Err(e) = reader.finish() {
+        eprintln!("error: '{path}': {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("trace           : {name}");
+    println!("file size       : {total_bytes} B");
+    println!(
+        "accesses        : {} ({loads} loads, {stores} stores)",
+        loads + stores
+    );
     ExitCode::SUCCESS
 }
 
@@ -391,5 +563,59 @@ mod tests {
     fn suite_flags_exclude_registers() {
         let err = Opts::parse(&to_args(&["--registers", "2"]), SUITE_FLAGS).unwrap_err();
         assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn metrics_flag_parses_for_both_commands() {
+        for flags in [PROFILE_FLAGS, SUITE_FLAGS] {
+            let opts = Opts::parse(&to_args(&["--metrics"]), flags).unwrap();
+            assert!(opts.metrics);
+        }
+        let err = Opts::parse(&to_args(&["--metrics", "--metrics"]), SUITE_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate flag '--metrics'"), "{err}");
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rdx-cli-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn trace_cmd_accepts_valid_and_rejects_corrupt_files() {
+        let trace =
+            rdx_trace::Trace::from_addresses("roundtrip", (0..500u64).map(|i| (i % 37) * 8));
+        let bytes = rdx_trace::io::to_bytes(&trace);
+        let good = temp_path("good.rdxt");
+        std::fs::write(&good, &bytes).unwrap();
+        assert_eq!(trace_cmd(&[good.display().to_string()]), ExitCode::SUCCESS);
+
+        // Truncating the record stream must yield a decode error, not a
+        // panic — the CLI recovers and reports the position reached.
+        let cut = temp_path("cut.rdxt");
+        std::fs::write(&cut, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(trace_cmd(&[cut.display().to_string()]), ExitCode::FAILURE);
+
+        let _ = std::fs::remove_file(good);
+        let _ = std::fs::remove_file(cut);
+    }
+
+    #[test]
+    fn metrics_crosscheck_rows_sum_profiles() {
+        let params = rdx_workloads::Params::default()
+            .with_accesses(30_000)
+            .with_elements(400);
+        let runner = RdxRunner::new(RdxConfig::default().with_period(512));
+        let rows: Vec<(String, RdxProfile)> = ["zipf", "stream_triad"]
+            .iter()
+            .map(|n| {
+                (
+                    (*n).to_string(),
+                    runner.profile(by_name(n).unwrap().stream(&params)),
+                )
+            })
+            .collect();
+        let checks = crosscheck_rows(&rows);
+        let samples: u64 = rows.iter().map(|(_, p)| p.samples).sum();
+        assert!(checks.contains(&("rdx.profiler.samples", samples)));
+        assert!(samples > 0);
     }
 }

@@ -11,11 +11,18 @@
 //! is materialized until a worker picks the task up; combined with the
 //! profiler's own streaming consumption, peak memory stays at
 //! `O(jobs)` live streams.
+//!
+//! A panicking task can never silently shrink or reorder the result:
+//! workers catch each task's unwind, the collector re-raises the
+//! panic of the **lowest-indexed** failed task on the caller's thread
+//! with its original payload, and no partial `Vec` escapes.
 
 use crate::config::RdxConfig;
 use crate::report::RdxProfile;
 use crate::runner::RdxRunner;
 use rdx_trace::AccessStream;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A unit of batch work: a profiler configuration plus the factory that
@@ -33,11 +40,27 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// One task's outcome as it crosses the collector channel.
+type TaskResult = Result<RdxProfile, Box<dyn Any + Send + 'static>>;
+
+fn run_task<S: AccessStream, F: FnOnce() -> S>(config: RdxConfig, make_stream: F) -> RdxProfile {
+    let _task_span = rdx_metrics::span("task");
+    rdx_metrics::counter("rdx.batch.tasks").incr();
+    RdxRunner::new(config).profile(make_stream())
+}
+
 /// Profiles every task on a pool of at most `jobs` threads, returning
 /// profiles in task order (deterministic regardless of scheduling).
 ///
 /// `jobs` is clamped to `[1, tasks.len()]`; `jobs == 1` degenerates to
 /// an in-place sequential loop with no thread overhead.
+///
+/// # Panics
+///
+/// If a task panics (in its stream factory or in the profiler), the
+/// panic is re-raised here with the original payload — the first one
+/// in *task order* when several tasks fail. Workers that already
+/// completed other tasks are joined first, so no thread leaks.
 #[must_use]
 pub fn profile_batch<S, F>(tasks: Vec<BatchTask<F>>, jobs: usize) -> Vec<RdxProfile>
 where
@@ -49,10 +72,11 @@ where
         return Vec::new();
     }
     let jobs = jobs.clamp(1, task_count);
+    let _batch_span = rdx_metrics::span("rdx.batch");
     if jobs == 1 {
         return tasks
             .into_iter()
-            .map(|t| RdxRunner::new(t.config).profile((t.make_stream)()))
+            .map(|t| run_task(t.config, t.make_stream))
             .collect();
     }
 
@@ -63,41 +87,63 @@ where
         .map(|t| parking_lot::Mutex::new(Some(t)))
         .collect();
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, RdxProfile)>();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, TaskResult)>();
 
-    crossbeam::scope(|scope| {
+    let results: Vec<Option<TaskResult>> = crossbeam::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let slots = &slots;
             let cursor = &cursor;
-            scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            scope.spawn(move |_| {
+                let _worker_span = rdx_metrics::span("rdx.batch.worker");
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    rdx_metrics::record_value("rdx.batch.queue_depth", (slots.len() - i) as u64);
+                    let task = slots[i].lock().take().expect("task taken exactly once");
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| run_task(task.config, task.make_stream)));
+                    let failed = result.is_err();
+                    tx.send((i, result)).expect("result collector alive");
+                    if failed {
+                        // This worker's state is fine (the unwind was
+                        // caught), but stop claiming new work: the batch
+                        // is already doomed to re-raise.
+                        break;
+                    }
                 }
-                let task = slots[i].lock().take().expect("task taken exactly once");
-                let profile = RdxRunner::new(task.config).profile((task.make_stream)());
-                tx.send((i, profile)).expect("result collector alive");
             });
         }
         drop(tx);
-        let mut results: Vec<Option<RdxProfile>> = (0..task_count).map(|_| None).collect();
-        for (i, profile) in rx {
-            results[i] = Some(profile);
+        let mut results: Vec<Option<TaskResult>> = (0..task_count).map(|_| None).collect();
+        for (i, result) in rx {
+            results[i] = Some(result);
         }
         results
-            .into_iter()
-            .map(|p| p.expect("worker completed every claimed task"))
-            .collect()
     })
-    .expect("batch worker panicked")
+    .expect("batch workers never unwind (panics are caught per task)");
+
+    // Claims happen in cursor order and workers only stop after a
+    // failure, so scanning in task order meets the lowest-indexed
+    // panic before any never-claimed slot.
+    let mut profiles = Vec::with_capacity(task_count);
+    for result in results {
+        match result.expect("every task before the first panic was claimed") {
+            Ok(profile) => profiles.push(profile),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    profiles
 }
 
 impl RdxRunner {
     /// Profiles many streams under this runner's configuration on at
     /// most `jobs` threads; results are in input order.
     ///
-    /// See [`profile_batch`] for the execution model.
+    /// See [`profile_batch`] for the execution model, including how
+    /// panicking tasks are surfaced.
     #[must_use]
     pub fn profile_batch<S, F>(&self, streams: Vec<F>, jobs: usize) -> Vec<RdxProfile>
     where
@@ -183,6 +229,73 @@ mod tests {
         for (a, b) in individual.iter().zip(&batched) {
             assert_eq!(a.rd, b.rd);
             assert_eq!(a.traps, b.traps);
+        }
+    }
+
+    /// Builds a batch whose task at `poison` panics in its stream
+    /// factory with a recognizable payload.
+    fn poisoned_tasks(
+        n: u64,
+        poison: u64,
+    ) -> Vec<BatchTask<Box<dyn FnOnce() -> DynStream + Send>>> {
+        (0..n)
+            .map(|k| {
+                let make: Box<dyn FnOnce() -> DynStream + Send> = if k == poison {
+                    Box::new(move || panic!("injected failure in task {k}"))
+                } else {
+                    Box::new(make_stream("zipf", k))
+                };
+                BatchTask {
+                    config: RdxConfig::default().with_period(512),
+                    make_stream: make,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_with_payload() {
+        for jobs in [1, 3] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                profile_batch(poisoned_tasks(6, 2), jobs)
+            }));
+            let payload = result.expect_err("panicking task must fail the batch loudly");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("panic! with format args carries a String");
+            assert_eq!(msg, "injected failure in task 2", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn first_panic_in_task_order_wins() {
+        // Both task 1 and task 4 panic; whichever thread finishes first,
+        // the caller must always see task 1's payload.
+        for _ in 0..8 {
+            let mut tasks = poisoned_tasks(6, 1);
+            let poison4 = poisoned_tasks(6, 4).remove(4);
+            tasks[4] = poison4;
+            let payload = catch_unwind(AssertUnwindSafe(|| profile_batch(tasks, 4)))
+                .expect_err("batch with two poisoned tasks must fail");
+            let msg = payload.downcast_ref::<String>().expect("String payload");
+            assert_eq!(msg, "injected failure in task 1");
+        }
+    }
+
+    #[test]
+    fn completed_prefix_stays_ordered_when_later_task_panics() {
+        // The batch fails loudly, and an identical batch without the
+        // poisoned tail yields the same ordered prefix as sequential —
+        // the failure mode is "panic", never "fewer/misordered rows".
+        let full = catch_unwind(AssertUnwindSafe(|| profile_batch(poisoned_tasks(5, 4), 2)));
+        assert!(full.is_err());
+        let prefix_tasks = || poisoned_tasks(5, 4).into_iter().take(4).collect::<Vec<_>>();
+        let par = profile_batch(prefix_tasks(), 2);
+        let seq = profile_batch(prefix_tasks(), 1);
+        assert_eq!(par.len(), 4);
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.rd, b.rd);
+            assert_eq!(a.samples, b.samples);
         }
     }
 }

@@ -93,6 +93,7 @@ impl RdxProfiler {
 
 impl Profiler for RdxProfiler {
     fn on_sample(&mut self, sample: &Sample, hw: &mut Hardware) {
+        rdx_metrics::counter("rdx.profiler.samples").incr();
         // Aging: release registers whose watchpoint has been armed beyond
         // the age limit — these are overwhelmingly cold (never-reused)
         // samples that would otherwise clog the register file forever.
@@ -107,6 +108,7 @@ impl Profiler for RdxProfiler {
                 .collect();
             for slot in expired {
                 if let Some(info) = hw.disarm(slot) {
+                    rdx_metrics::counter("rdx.profiler.evictions").incr();
                     self.evicted.push(now.saturating_sub(info.accesses_at_arm));
                 }
             }
@@ -118,17 +120,20 @@ impl Profiler for RdxProfiler {
             .armed_iter()
             .any(|(_, info)| info.watchpoint.addr == wp.addr)
         {
+            rdx_metrics::counter("rdx.profiler.duplicate_samples").incr();
             self.duplicate_samples += 1;
             return;
         }
         if hw.armed_count() == hw.register_count() {
             match self.evict_victim(hw) {
                 None => {
+                    rdx_metrics::counter("rdx.profiler.dropped_samples").incr();
                     self.dropped_samples += 1;
                     return;
                 }
                 Some(slot) => {
                     if let Some(info) = hw.disarm(slot) {
+                        rdx_metrics::counter("rdx.profiler.evictions").incr();
                         self.evicted
                             .push(hw.access_count().saturating_sub(info.accesses_at_arm));
                     }
@@ -137,9 +142,11 @@ impl Profiler for RdxProfiler {
         }
         hw.arm(wp, sample.access.addr.raw())
             .expect("a register was freed or available");
+        rdx_metrics::counter("rdx.profiler.watchpoints_armed").incr();
     }
 
     fn on_trap(&mut self, trap: &Trap, _hw: &mut Hardware) {
+        rdx_metrics::counter("rdx.profiler.traps").incr();
         // Counter snapshots are taken after each access retires, so the
         // number of accesses strictly between sample and reuse is the
         // difference minus the trapping access itself.
@@ -153,12 +160,15 @@ impl Profiler for RdxProfiler {
     fn on_finish(&mut self, hw: &mut Hardware) {
         let now = hw.access_count();
         let armed: Vec<Slot> = hw.armed_iter().map(|(slot, _)| slot).collect();
+        let mut end_censored = 0u64;
         for slot in armed {
             if let Some(info) = hw.disarm(slot) {
+                end_censored += 1;
                 self.end_censored
                     .push(now.saturating_sub(info.accesses_at_arm));
             }
         }
+        rdx_metrics::counter("rdx.profiler.end_censored").add(end_censored);
     }
 }
 

@@ -47,10 +47,21 @@ pub struct RdxProfile {
 impl RdxProfile {
     /// Fractional memory overhead relative to an application footprint of
     /// `app_bytes` (profiler memory / application memory).
+    ///
+    /// Zero-footprint convention: with `app_bytes == 0` any nonzero
+    /// profiler footprint is infinitely large relative to the
+    /// application, so this returns [`f64::INFINITY`]; `0.0` is
+    /// returned only when the profiler used no memory either (0/0 reads
+    /// as "no overhead"). Callers aggregating overheads should filter
+    /// non-finite values rather than averaging them.
     #[must_use]
     pub fn memory_overhead(&self, app_bytes: u64) -> f64 {
         if app_bytes == 0 {
-            return 0.0;
+            return if self.profiler_bytes == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.profiler_bytes as f64 / app_bytes as f64
     }
@@ -108,7 +119,20 @@ mod tests {
     fn memory_overhead_ratio() {
         let p = dummy();
         assert!((p.memory_overhead(16 << 20) - 1.0 / 16.0).abs() < 1e-12);
-        assert_eq!(p.memory_overhead(0), 0.0);
+    }
+
+    #[test]
+    fn memory_overhead_zero_footprint_convention() {
+        // Nonzero profiler memory against a zero-byte application is an
+        // infinite ratio, not a free lunch.
+        let p = dummy();
+        assert!(p.profiler_bytes > 0);
+        assert_eq!(p.memory_overhead(0), f64::INFINITY);
+        // Only 0/0 collapses to "no overhead".
+        let mut empty = dummy();
+        empty.profiler_bytes = 0;
+        assert_eq!(empty.memory_overhead(0), 0.0);
+        assert_eq!(empty.memory_overhead(1 << 20), 0.0);
     }
 
     #[test]

@@ -34,10 +34,15 @@ impl RdxRunner {
     /// Profiles one access stream, producing the estimated reuse-distance
     /// histogram and overhead accounting.
     pub fn profile(&self, stream: impl AccessStream) -> RdxProfile {
+        let _profile_span = rdx_metrics::span("rdx.profile");
+        rdx_metrics::counter("rdx.runner.profiles").incr();
         let cfg = &self.config;
         let mut profiler = RdxProfiler::new(cfg);
+        let machine_span = rdx_metrics::span("machine");
         let report = Machine::new(cfg.machine).run(stream, &mut profiler);
+        drop(machine_span);
         let n = report.counters.loads + report.counters.stores;
+        rdx_metrics::counter("rdx.runner.accesses").add(n);
 
         // --- Censoring correction -------------------------------------
         // Two intertwined processes act on each armed watchpoint:
@@ -51,6 +56,7 @@ impl RdxRunner {
         // `1/C_evict(t)` that de-bias the observed pairs; the cold bucket
         // is the IPCW-corrected count of watchpoints still armed at the
         // end of the run (last touches of their blocks).
+        let censor_span = rdx_metrics::span("censor");
         let (pair_weights, cold_frac): (Vec<(u64, f64)>, f64) = match cfg.censoring {
             CensoringCorrection::None => {
                 let resolved = profiler.completed.len() + profiler.end_censored.len();
@@ -129,6 +135,7 @@ impl RdxRunner {
                 (pairs, cold)
             }
         };
+        drop(censor_span);
 
         // --- Scale the sampled distribution to the full run -----------
         // Each access has exactly one reuse time (cold = infinite) and
@@ -151,6 +158,7 @@ impl RdxRunner {
         }
 
         // --- Time → distance conversion -------------------------------
+        let convert_span = rdx_metrics::span("convert");
         let scaled_pairs: Vec<(u64, f64)> =
             pair_weights.iter().map(|&(t, w)| (t, w * scale)).collect();
         let mut rd = RdHistogram::new(cfg.binning);
@@ -172,6 +180,7 @@ impl RdxRunner {
         if m_estimate > 0.0 {
             rd.record(ReuseDistance::INFINITE, m_estimate);
         }
+        drop(convert_span);
 
         let profiler_bytes = cfg.machine.cost.profiler_fixed_bytes
             + profiler.memory_bytes() as u64

@@ -1,0 +1,68 @@
+//! Metrics must observe, never perturb: profiles are bit-identical
+//! whether the `metrics` feature is compiled in or not.
+//!
+//! This file runs under both configurations (plain `cargo test` and
+//! `cargo test --features metrics` — CI exercises both legs) and checks
+//! every registry workload's `RdHistogram`/`RtHistogram` against one
+//! hard-coded digest of the exact f64 bit patterns. Any divergence —
+//! between the two builds, or from the recorded baseline — fails.
+
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_histogram::Histogram;
+use rdx_workloads::{suite, Params};
+
+/// FNV-1a over a stream of u64s (here: histogram weight bit patterns
+/// and bucket bounds), so equality means bit-for-bit equality.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn push_histogram(&mut self, h: &Histogram) {
+        for b in h.buckets() {
+            self.push(b.range.lo);
+            self.push(b.range.hi);
+            self.push(b.weight.to_bits());
+        }
+        self.push(h.infinite_weight().to_bits());
+    }
+}
+
+/// The digest of the whole registry at the pinned operating point,
+/// recorded from a default-features run. The metrics build must
+/// reproduce it exactly: collection is atomic counters and clock reads
+/// only, and never feeds back into the estimate.
+const GOLDEN: u64 = 0x17ea_4869_2cad_4966;
+
+#[test]
+fn profiles_identical_with_metrics_on_and_off() {
+    let params = Params::default().with_accesses(60_000).with_elements(800);
+    let config = RdxConfig::default().with_period(512).with_seed(7);
+    let mut digest = Digest::new();
+    for w in suite() {
+        let p = RdxRunner::new(config).profile(w.stream(&params));
+        digest.push_histogram(p.rd.as_histogram());
+        digest.push_histogram(p.rt.as_histogram());
+        digest.push(p.samples);
+        digest.push(p.traps);
+        digest.push(p.evictions);
+        digest.push(p.m_estimate.to_bits());
+    }
+    assert_eq!(
+        digest.0,
+        GOLDEN,
+        "registry digest {:#018x} deviates from the recorded baseline \
+         (metrics feature: {}) — collection must not perturb results",
+        digest.0,
+        rdx_metrics::enabled(),
+    );
+}

@@ -259,8 +259,12 @@ impl ShardedExact {
         let shards = self.shards;
         let shards_u64 = shards as u64;
 
+        let _measure_span = rdx_metrics::span("rdx.sharded.measure");
+        rdx_metrics::counter("rdx.sharded.measurements").incr();
+
         // Pass 1: partition. The caller's thread chunks the stream and
         // broadcasts; shard workers filter and track their own blocks.
+        let partition_span = rdx_metrics::span("partition");
         let mut chunker = Chunker::with_capacity(stream, self.chunk_capacity);
         let passes: Vec<ShardPass> = crossbeam::scope(|scope| {
             let mut senders = Vec::with_capacity(shards);
@@ -269,6 +273,9 @@ impl ShardedExact {
                 let (tx, rx) = crossbeam::channel::bounded::<Arc<Chunk>>(CHUNKS_IN_FLIGHT);
                 senders.push(tx);
                 handles.push(scope.spawn(move |_| {
+                    // Worker thread: its own span stack, so the timer
+                    // records flat (one duration per shard per run).
+                    let _shard_span = rdx_metrics::span("rdx.sharded.shard_partition");
                     ShardPass::consume(&rx, shard, shards_u64, granularity, binning)
                 }));
             }
@@ -286,14 +293,18 @@ impl ShardedExact {
         })
         .expect("shard scope panicked");
         let accesses = chunker.accesses_delivered();
+        drop(partition_span);
+        rdx_metrics::counter("rdx.sharded.accesses").add(accesses);
 
         // Pass 2: order queries globally (times are unique, so the order
         // is deterministic) and let every shard sweep them in parallel.
+        let sweep_span = rdx_metrics::span("sweep");
         let mut queries: Vec<(u64, u64)> = passes
             .iter()
             .flat_map(|p| p.queries.iter().copied())
             .collect();
         queries.sort_unstable_by_key(|&(_, v)| v);
+        rdx_metrics::counter("rdx.sharded.queries").add(queries.len() as u64);
         let answers: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
             .take(queries.len())
             .collect();
@@ -301,13 +312,18 @@ impl ShardedExact {
             let queries = &queries;
             let answers = &answers;
             for pass in &passes {
-                scope.spawn(move |_| pass.sweep(queries, answers));
+                scope.spawn(move |_| {
+                    let _shard_span = rdx_metrics::span("rdx.sharded.shard_sweep");
+                    pass.sweep(queries, answers);
+                });
             }
         })
         .expect("sweep scope panicked");
+        drop(sweep_span);
 
         // Pass 3: deterministic merge. One record() per access keeps
         // observation counts — and so histogram equality — exact.
+        let _merge_span = rdx_metrics::span("merge");
         let mut rd = RdHistogram::new(binning);
         let mut rt = RtHistogram::new(binning);
         let mut distinct_blocks = 0u64;

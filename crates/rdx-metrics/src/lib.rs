@@ -1,0 +1,73 @@
+//! Lightweight observability for the RDX profiling pipeline.
+//!
+//! The profiler's headline claim is *measured overhead*, so the profiler
+//! itself must be measurable without distorting what it measures. This
+//! crate provides three probe kinds, all addressed by `&'static str`
+//! names:
+//!
+//! * [`counter`] — monotonically increasing [`Counter`]s backed by
+//!   relaxed atomics (samples taken, traps fired, bytes decoded, …).
+//! * [`span`] — RAII scope timers over the monotonic clock. Spans nest:
+//!   a span opened while another is active on the same thread records
+//!   under the hierarchical path `outer/inner`.
+//! * [`record_duration_ns`] / [`record_value`] — explicit records for
+//!   durations measured elsewhere and unitless distributions (queue
+//!   depths, batch sizes).
+//!
+//! [`snapshot`] captures everything observed so far as a [`Snapshot`]
+//! that serializes to JSON via [`Snapshot::to_json`]; [`reset`] zeroes
+//! the registry between measurement windows (handles stay valid).
+//!
+//! # Zero cost when disabled
+//!
+//! All of this is compiled in only under the `enabled` cargo feature.
+//! Without it (the default) every function here is an inlined empty
+//! body over zero-sized types: no registry, no atomics, no clock reads
+//! — the optimizer erases the probes entirely, so instrumented code
+//! paths cost exactly as much as uninstrumented ones. Collection never
+//! feeds back into what the instrumented code computes, so results are
+//! bit-identical with the feature on and off (enforced by the
+//! `metrics_determinism` test in `rdx-core`).
+//!
+//! # Example
+//!
+//! ```
+//! let c = rdx_metrics::counter("demo.events");
+//! c.add(3);
+//! {
+//!     let _outer = rdx_metrics::span("demo.outer");
+//!     let _inner = rdx_metrics::span("inner"); // records as demo.outer/inner
+//! }
+//! let snap = rdx_metrics::snapshot();
+//! if rdx_metrics::enabled() {
+//!     assert_eq!(snap.counter("demo.events"), Some(3));
+//! }
+//! println!("{}", snap.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod snapshot;
+pub use snapshot::{Snapshot, TimerStat};
+
+#[cfg(feature = "enabled")]
+mod registry;
+#[cfg(feature = "enabled")]
+pub use registry::{
+    counter, record_duration_ns, record_value, reset, snapshot, span, Counter, SpanGuard,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter, record_duration_ns, record_value, reset, snapshot, span, Counter, SpanGuard,
+};
+
+/// True when the crate was compiled with the `enabled` feature, i.e.
+/// probes collect for real rather than compiling to no-ops.
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}

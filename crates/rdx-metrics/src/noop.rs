@@ -1,0 +1,92 @@
+//! The default build: every probe is an inlined empty body over
+//! zero-sized types, so instrumented call sites compile to nothing.
+//! The API mirrors `registry` exactly; see the crate docs.
+
+use crate::snapshot::Snapshot;
+
+/// A handle on a named counter (no-op build: zero-sized, does nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// Adds `n` to the counter (no-op).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Adds 1 to the counter (no-op).
+    #[inline(always)]
+    pub fn incr(&self) {}
+
+    /// The counter's current value (always 0 in the no-op build).
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Returns the counter registered under `name` (no-op).
+#[inline(always)]
+#[must_use]
+pub fn counter(_name: &'static str) -> Counter {
+    Counter
+}
+
+/// Records one duration under timer `name` (no-op).
+#[inline(always)]
+pub fn record_duration_ns(_name: &'static str, _ns: u64) {}
+
+/// Records one unitless value under `name` (no-op).
+#[inline(always)]
+pub fn record_value(_name: &'static str, _value: u64) {}
+
+/// RAII guard of an open [`span`] (no-op build: zero-sized, no clock).
+#[derive(Debug)]
+pub struct SpanGuard;
+
+impl Drop for SpanGuard {
+    // Deliberately empty: keeps `drop(guard)` call sites uniform with
+    // the enabled build (a drop of a non-Drop ZST is a clippy lint).
+    fn drop(&mut self) {}
+}
+
+/// Opens a timed span named `name` (no-op: reads no clock).
+#[inline(always)]
+#[must_use]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Captures the (always empty) metric state.
+#[inline(always)]
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Zeroes the (nonexistent) metric state (no-op).
+#[inline(always)]
+pub fn reset() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_inert() {
+        let c = counter("noop.count");
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        record_duration_ns("noop.timer", 123);
+        {
+            let _s = span("noop.span");
+            let _inner = span("inner");
+        }
+        reset();
+        let snap = snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.counter("noop.count"), None);
+        assert!(snap.to_json().contains("\"enabled\":false"));
+    }
+}

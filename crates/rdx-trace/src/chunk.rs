@@ -99,6 +99,8 @@ impl<S: AccessStream> Chunker<S> {
         if accesses.is_empty() {
             return None;
         }
+        rdx_metrics::counter("rdx.trace.chunk.chunks").incr();
+        rdx_metrics::counter("rdx.trace.chunk.accesses").add(accesses.len() as u64);
         let base_index = self.next_index;
         self.next_index += accesses.len() as u64;
         Some(Chunk {

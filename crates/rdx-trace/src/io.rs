@@ -15,8 +15,15 @@
 //! where `addr_delta` is the signed difference from the previous address.
 //! Regular strides compress to 1–2 bytes per access, which matters for
 //! multi-hundred-million access traces.
+//!
+//! Malformed input is **never** a panic: every decode path — the one-shot
+//! [`from_bytes`] / [`read_trace`] as well as the streaming
+//! [`TraceReader`] — reports a typed [`TraceError`] and leaves the
+//! process in control of recovery. Proptests below drive arbitrary
+//! garbage through both layers to keep that guarantee honest.
 
 use crate::event::{Access, AccessKind, Address};
+use crate::stream::AccessStream;
 use crate::trace::Trace;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -27,7 +34,7 @@ const VERSION: u32 = 1;
 
 /// Errors produced by trace (de)serialization.
 #[derive(Debug)]
-pub enum TraceIoError {
+pub enum TraceError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The input does not start with the `RDXT` magic.
@@ -39,32 +46,41 @@ pub enum TraceIoError {
     Truncated,
     /// The embedded name is not valid UTF-8.
     BadName,
+    /// Bytes remain after the declared record count was decoded.
+    TrailingData(usize),
 }
 
-impl fmt::Display for TraceIoError {
+/// Former name of [`TraceError`].
+#[deprecated(note = "renamed to TraceError")]
+pub type TraceIoError = TraceError;
+
+impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
-            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceIoError::Truncated => write!(f, "trace file truncated or corrupt"),
-            TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace file truncated or corrupt"),
+            TraceError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceError::TrailingData(n) => {
+                write!(f, "{n} trailing byte(s) after the declared record count")
+            }
         }
     }
 }
 
-impl std::error::Error for TraceIoError {
+impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceIoError::Io(e) => Some(e),
+            TraceError::Io(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for TraceIoError {
+impl From<std::io::Error> for TraceError {
     fn from(e: std::io::Error) -> Self {
-        TraceIoError::Io(e)
+        TraceError::Io(e)
     }
 }
 
@@ -88,16 +104,16 @@ fn put_varint(buf: &mut BytesMut, mut v: u128) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u128, TraceIoError> {
+fn get_varint(buf: &mut Bytes) -> Result<u128, TraceError> {
     let mut v = 0u128;
     let mut shift = 0u32;
     loop {
         if !buf.has_remaining() {
-            return Err(TraceIoError::Truncated);
+            return Err(TraceError::Truncated);
         }
         let byte = buf.get_u8();
         if shift >= 128 {
-            return Err(TraceIoError::Truncated);
+            return Err(TraceError::Truncated);
         }
         v |= u128::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -126,56 +142,205 @@ pub fn to_bytes(trace: &Trace) -> Bytes {
         // so the kind bit pushes the record into u128 varint territory.
         put_varint(&mut buf, (u128::from(zigzag(delta)) << 1) | kind_bit);
     }
+    rdx_metrics::counter("rdx.trace.encode.events").add(trace.len() as u64);
+    rdx_metrics::counter("rdx.trace.encode.bytes").add(buf.len() as u64);
     buf.freeze()
 }
 
-/// Deserializes a trace from bytes.
+/// Incremental decoder of the `RDXT` format that yields accesses as an
+/// [`AccessStream`], so a trace file can feed the profiler without ever
+/// being materialized as a [`Trace`].
 ///
-/// # Errors
-///
-/// Returns a [`TraceIoError`] if the input is not a valid version-1 trace.
-pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Trace, TraceIoError> {
-    let mut buf: Bytes = bytes.into();
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
-        return Err(TraceIoError::BadMagic);
+/// Construction ([`TraceReader::new`]) validates the header eagerly.
+/// Records decode lazily: [`try_next`](TraceReader::try_next) surfaces
+/// malformed input as a typed [`TraceError`], and the infallible
+/// [`AccessStream`] view ends the stream on error while parking the
+/// error in [`error`](TraceReader::error) for the driver to inspect
+/// afterwards — corrupt input is a recoverable condition, not a panic.
+#[derive(Debug)]
+pub struct TraceReader {
+    buf: Bytes,
+    name: String,
+    declared: u64,
+    decoded: u64,
+    prev: u64,
+    error: Option<TraceError>,
+}
+
+impl TraceReader {
+    /// Parses the header and prepares to stream the records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the magic, version, name, or count
+    /// fields are missing or malformed.
+    pub fn new(bytes: impl Into<Bytes>) -> Result<TraceReader, TraceError> {
+        let mut buf: Bytes = bytes.into();
+        let total_len = buf.remaining();
+        if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        if buf.remaining() < 4 {
+            return Err(TraceError::Truncated);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        if buf.remaining() < 4 {
+            return Err(TraceError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(TraceError::Truncated);
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| TraceError::BadName)?;
+        if buf.remaining() < 8 {
+            return Err(TraceError::Truncated);
+        }
+        let declared = buf.get_u64_le();
+        rdx_metrics::counter("rdx.trace.decode.bytes").add((total_len - buf.remaining()) as u64);
+        Ok(TraceReader {
+            buf,
+            name,
+            declared,
+            decoded: 0,
+            prev: 0,
+            error: None,
+        })
     }
-    if buf.remaining() < 4 {
-        return Err(TraceIoError::Truncated);
+
+    /// Reads all of `reader` and parses the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and header format errors.
+    pub fn from_reader<R: Read>(mut reader: R) -> Result<TraceReader, TraceError> {
+        let mut data = Vec::new();
+        reader.read_to_end(&mut data)?;
+        TraceReader::new(data)
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(TraceIoError::BadVersion(version));
+
+    /// The trace's embedded name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
     }
-    if buf.remaining() < 4 {
-        return Err(TraceIoError::Truncated);
+
+    /// The record count declared in the header.
+    #[must_use]
+    pub fn declared_len(&self) -> u64 {
+        self.declared
     }
-    let name_len = buf.get_u32_le() as usize;
-    if buf.remaining() < name_len {
-        return Err(TraceIoError::Truncated);
+
+    /// Records decoded so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded
     }
-    let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
-        .map_err(|_| TraceIoError::BadName)?;
-    if buf.remaining() < 8 {
-        return Err(TraceIoError::Truncated);
+
+    /// The decode error the [`AccessStream`] view ran into, if any.
+    ///
+    /// Drivers that consume the reader as an infallible stream must
+    /// check this once the stream ends to distinguish a clean EOF from
+    /// corrupt input.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
     }
-    let count = buf.get_u64_le();
-    let mut trace = Trace::new(name);
-    let mut prev: u64 = 0;
-    for _ in 0..count {
-        let raw = get_varint(&mut buf)?;
+
+    /// Decodes the next access, `Ok(None)` at a clean end of trace.
+    ///
+    /// The reader is fused: after an error or the final record it keeps
+    /// returning the error / `Ok(None)` respectively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Truncated`] when the input ends or a
+    /// varint is malformed before the declared record count is reached.
+    pub fn try_next(&mut self) -> Result<Option<Access>, TraceError> {
+        if self.error.is_some() {
+            return Err(TraceError::Truncated);
+        }
+        if self.decoded >= self.declared {
+            return Ok(None);
+        }
+        let before = self.buf.remaining();
+        let raw = match get_varint(&mut self.buf) {
+            Ok(raw) => raw,
+            Err(e) => {
+                self.error = Some(TraceError::Truncated);
+                return Err(e);
+            }
+        };
         let kind = if raw & 1 == 1 {
             AccessKind::Store
         } else {
             AccessKind::Load
         };
         let delta = unzigzag((raw >> 1) as u64);
-        let addr = prev.wrapping_add(delta as u64);
-        prev = addr;
-        trace.push(Access {
+        let addr = self.prev.wrapping_add(delta as u64);
+        self.prev = addr;
+        self.decoded += 1;
+        rdx_metrics::counter("rdx.trace.decode.bytes").add((before - self.buf.remaining()) as u64);
+        rdx_metrics::counter("rdx.trace.decode.events").incr();
+        Ok(Some(Access {
             addr: Address::new(addr),
             kind,
-        });
+        }))
     }
+
+    /// Verifies the reader consumed the input exactly: all declared
+    /// records decoded and no bytes left over.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] if records are missing,
+    /// [`TraceError::TrailingData`] if bytes remain.
+    pub fn finish(self) -> Result<(), TraceError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.decoded < self.declared {
+            return Err(TraceError::Truncated);
+        }
+        if self.buf.has_remaining() {
+            return Err(TraceError::TrailingData(self.buf.remaining()));
+        }
+        Ok(())
+    }
+}
+
+impl AccessStream for TraceReader {
+    fn next_access(&mut self) -> Option<Access> {
+        // Decode errors end the stream; the error is parked in
+        // `self.error` for the driver to inspect afterwards.
+        self.try_next().unwrap_or_default()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        if self.error.is_some() {
+            return Some(0);
+        }
+        Some(self.declared - self.decoded)
+    }
+}
+
+/// Deserializes a trace from bytes.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] if the input is not a valid version-1 trace
+/// consumed exactly (trailing bytes after the declared records are
+/// rejected as [`TraceError::TrailingData`]).
+pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Trace, TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut trace = Trace::new(reader.name().to_owned());
+    while let Some(a) = reader.try_next()? {
+        trace.push(a);
+    }
+    reader.finish()?;
     Ok(trace)
 }
 
@@ -184,7 +349,7 @@ pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Trace, TraceIoError> {
 /// # Errors
 ///
 /// Propagates I/O errors from the sink.
-pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceError> {
     writer.write_all(&to_bytes(trace))?;
     Ok(())
 }
@@ -194,7 +359,7 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIo
 /// # Errors
 ///
 /// Propagates I/O errors and format errors.
-pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceError> {
     let mut data = Vec::new();
     reader.read_to_end(&mut data)?;
     from_bytes(data)
@@ -255,7 +420,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = from_bytes(&b"NOPE00000000"[..]).unwrap_err();
-        assert!(matches!(err, TraceIoError::BadMagic), "{err}");
+        assert!(matches!(err, TraceError::BadMagic), "{err}");
     }
 
     #[test]
@@ -264,7 +429,7 @@ mod tests {
         let mut raw = to_bytes(&t).to_vec();
         raw[4] = 99;
         let err = from_bytes(raw).unwrap_err();
-        assert!(matches!(err, TraceIoError::BadVersion(99)), "{err}");
+        assert!(matches!(err, TraceError::BadVersion(99)), "{err}");
     }
 
     #[test]
@@ -281,6 +446,15 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_rejected() {
+        let t = Trace::from_addresses("t", [1u64, 2, 3]);
+        let mut raw = to_bytes(&t).to_vec();
+        raw.push(0x00);
+        let err = from_bytes(raw).unwrap_err();
+        assert!(matches!(err, TraceError::TrailingData(1)), "{err}");
+    }
+
+    #[test]
     fn zigzag_roundtrip() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(v)), v);
@@ -289,9 +463,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(TraceIoError::BadMagic.to_string().contains("magic"));
-        assert!(TraceIoError::Truncated.to_string().contains("truncated"));
-        assert!(TraceIoError::BadVersion(7).to_string().contains('7'));
+        assert!(TraceError::BadMagic.to_string().contains("magic"));
+        assert!(TraceError::Truncated.to_string().contains("truncated"));
+        assert!(TraceError::BadVersion(7).to_string().contains('7'));
+        assert!(TraceError::TrailingData(3).to_string().contains('3'));
     }
 
     #[test]
@@ -311,6 +486,48 @@ mod tests {
         let a: Vec<_> = t.iter().collect();
         let b: Vec<_> = t2.iter().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reader_streams_accesses() {
+        let t = sample_trace();
+        let raw = to_bytes(&Trace::from_stream("r", t.stream()));
+        let mut reader = TraceReader::new(raw).unwrap();
+        assert_eq!(reader.name(), "r");
+        assert_eq!(reader.declared_len(), t.len() as u64);
+        assert_eq!(reader.remaining_hint(), Some(t.len() as u64));
+        let mut got = Vec::new();
+        while let Some(a) = reader.next_access() {
+            got.push(a);
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert_eq!(reader.decoded(), t.len() as u64);
+        assert!(reader.error().is_none());
+        assert!(reader.finish().is_ok());
+    }
+
+    #[test]
+    fn reader_parks_truncation_error_for_stream_drivers() {
+        let t = Trace::from_addresses("cut", (0..100u64).map(|i| i * 64));
+        let raw = to_bytes(&t);
+        let cut = raw.slice(..raw.len() - 7);
+        let mut reader = TraceReader::new(cut).unwrap();
+        let streamed = reader.count_remaining();
+        assert!(streamed < 100, "stream must end early, got {streamed}");
+        assert!(matches!(reader.error(), Some(TraceError::Truncated)));
+        // fused: further pulls keep failing without panicking
+        assert!(reader.next_access().is_none());
+        assert!(reader.try_next().is_err());
+        assert_eq!(reader.remaining_hint(), Some(0));
+        assert!(reader.finish().is_err());
+    }
+
+    #[test]
+    fn reader_finish_detects_unconsumed_records() {
+        let t = Trace::from_addresses("partial", [1u64, 2, 3]);
+        let mut reader = TraceReader::new(to_bytes(&t)).unwrap();
+        assert!(reader.next_access().is_some());
+        assert!(matches!(reader.finish(), Err(TraceError::Truncated)));
     }
 }
 
@@ -344,7 +561,7 @@ mod proptests {
                 let mut sliced = full.slice(..cut);
                 prop_assert!(matches!(
                     get_varint(&mut sliced),
-                    Err(TraceIoError::Truncated)
+                    Err(TraceError::Truncated)
                 ));
             }
         }
@@ -361,6 +578,21 @@ mod proptests {
             let a: Vec<_> = t.iter().collect();
             let b: Vec<_> = t2.iter().collect();
             prop_assert_eq!(a, b);
+        }
+
+        /// The streaming reader agrees byte-for-byte with the one-shot
+        /// decoder when driven purely through the `AccessStream` trait.
+        #[test]
+        fn reader_stream_matches_from_bytes(
+            records in prop::collection::vec((any::<u64>(), any::<bool>()), 0..64)
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let raw = to_bytes(&t);
+            let mut reader = TraceReader::new(raw).unwrap();
+            let streamed = Trace::from_stream("s", &mut reader);
+            prop_assert!(reader.error().is_none());
+            prop_assert_eq!(streamed.accesses(), t.accesses());
+            prop_assert!(reader.finish().is_ok());
         }
 
         /// Deltas near the zigzag extremes (|delta| ≥ 2^62, where the
@@ -395,6 +627,29 @@ mod proptests {
             }
         }
 
+        /// Cut files through the *stream* layer: the reader either fails
+        /// at the header or ends the stream early with a parked error —
+        /// never a panic, never a silently complete stream.
+        #[test]
+        fn truncated_trace_stream_always_errors(
+            records in prop::collection::vec((any::<u64>(), any::<bool>()), 1..16)
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let full = to_bytes(&t);
+            for cut in 0..full.len() {
+                match TraceReader::new(full.slice(..cut)) {
+                    Err(_) => {} // header already invalid
+                    Ok(mut reader) => {
+                        let n = reader.count_remaining();
+                        prop_assert!(
+                            n < records.len() as u64 || reader.error().is_some()
+                        );
+                        prop_assert!(reader.finish().is_err());
+                    }
+                }
+            }
+        }
+
         /// Arbitrary garbage input returns an error without panicking.
         #[test]
         fn corrupt_input_never_panics(
@@ -407,6 +662,28 @@ mod proptests {
             let mut framed = to_bytes(&Trace::new("fuzz")).to_vec();
             framed.extend_from_slice(&data);
             let _ = from_bytes(framed);
+        }
+
+        /// Arbitrary garbage through the *stream* layer: header parsing
+        /// and record streaming never panic, and a stream that ends
+        /// before its declared count always parks an error.
+        #[test]
+        fn corrupt_input_never_panics_streaming(
+            data in prop::collection::vec(any::<u8>(), 0..256)
+        ) {
+            for bytes in [data.clone(), {
+                let mut framed = to_bytes(&Trace::new("fuzz")).to_vec();
+                framed.extend_from_slice(&data);
+                framed
+            }] {
+                if let Ok(mut reader) = TraceReader::new(bytes) {
+                    let streamed = reader.count_remaining();
+                    prop_assert_eq!(reader.decoded(), streamed);
+                    if streamed < reader.declared_len() {
+                        prop_assert!(reader.error().is_some());
+                    }
+                }
+            }
         }
     }
 }

@@ -14,7 +14,9 @@
 //! * [`Chunker`] / [`Chunk`] — bounded-size, globally-indexed chunking of
 //!   a stream, the transport unit of the parallel measurement paths.
 //! * [`io`] — a compact binary trace format (magic + version header,
-//!   delta-encoded addresses) for persisting traces.
+//!   delta-encoded addresses) for persisting traces, with a streaming
+//!   [`TraceReader`] and typed [`TraceError`]s: malformed input is a
+//!   recoverable error everywhere, never a panic.
 //! * [`TraceStats`] — single-pass summary statistics of a stream.
 //!
 //! # Example
@@ -40,6 +42,7 @@ mod trace;
 
 pub use chunk::{Chunk, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
+pub use io::{TraceError, TraceReader};
 pub use stats::TraceStats;
 pub use stream::{AccessStream, FnStream, Take};
 pub use trace::{Trace, TraceStream};

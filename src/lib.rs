@@ -10,6 +10,8 @@
 //! * [`baselines`] — exhaustive, SHARDS-style and counter-only comparators.
 //! * [`histogram`] — histograms, accuracy metrics, miss-ratio curves.
 //! * [`cache`] — cache presets, a set-associative simulator, predictions.
+//! * [`metrics`] — zero-cost-when-disabled observability probes; turn
+//!   them into real collectors with the `metrics` cargo feature.
 //!
 //! # Quickstart
 //!
@@ -34,5 +36,6 @@ pub use rdx_cache as cache;
 pub use rdx_core as core;
 pub use rdx_groundtruth as groundtruth;
 pub use rdx_histogram as histogram;
+pub use rdx_metrics as metrics;
 pub use rdx_trace as traces;
 pub use rdx_workloads as workloads;
