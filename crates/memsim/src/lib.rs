@@ -62,6 +62,7 @@ pub mod cost;
 mod debug;
 mod machine;
 mod pmu;
+mod scan;
 
 pub use cost::{CostLedger, CostModel};
 pub use debug::{ArmError, ArmInfo, DebugRegisterFile, Slot, WatchKind, Watchpoint};

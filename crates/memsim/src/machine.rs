@@ -2,7 +2,8 @@
 
 use crate::cost::{CostLedger, CostModel};
 use crate::debug::{ArmError, ArmInfo, DebugRegisterFile, Slot, Watchpoint};
-use crate::pmu::{CounterSnapshot, Pmu, PmuOutcome, SamplingConfig};
+use crate::pmu::{CounterSnapshot, Pmu, PmuEvent, PmuOutcome, SamplingConfig};
+use crate::scan::NeedleSet;
 use rdx_trace::{Access, AccessStream};
 
 /// Machine configuration: register count, sampling mode, cost model, seed.
@@ -237,54 +238,69 @@ impl Machine {
     /// on this access, a [`Sample`] is delivered. A watchpoint armed inside
     /// a handler is first eligible to fire on the *next* access — hardware
     /// cannot retroactively trap the access that is already retiring.
+    ///
+    /// # Fast path
+    ///
+    /// When the stream exposes contiguous chunks
+    /// ([`AccessStream::next_chunk`]) and the sampling mode is the precise
+    /// all-accesses default (`event == Accesses`, `max_skid == 0`), the
+    /// machine skips the per-access state machines for the quiet gaps
+    /// between overflows: the PMU countdown bounds how many accesses can
+    /// pass without an event, a [`NeedleSet`] scan locates the first
+    /// watchpoint hit inside that gap, and counters/ledger advance in
+    /// bulk. Only accesses that deliver an event (and the overflow access
+    /// itself) take the ordinary step, so samples, traps, evictions, RNG
+    /// consumption and cost accounting are bit-identical to the slow
+    /// loop. Everything else — non-chunked streams, skidding or
+    /// event-filtered sampling, stream tails — falls back per access.
     pub fn run(&self, mut stream: impl AccessStream, profiler: &mut impl Profiler) -> RunReport {
         let mut pmu = Pmu::new(self.config.sampling, self.config.seed);
         let mut drf = DebugRegisterFile::new(self.config.registers);
         let mut ledger = CostLedger::default();
         let mut index: u64 = 0;
 
-        while let Some(access) = stream.next_access() {
-            let outcome = pmu.on_event(access.kind.is_store());
-            ledger.accesses += 1;
-            let counters = pmu.counters();
+        let eligible =
+            self.config.sampling.max_skid == 0 && self.config.sampling.event == PmuEvent::Accesses;
+        let mut try_chunks = eligible && stream.chunk_capable();
+        // Engagement counters, accumulated locally and flushed once so
+        // the (feature-gated) metrics atomics stay off the hot path.
+        let mut fp_chunks: u64 = 0;
+        let mut fp_scanned: u64 = 0;
+        let mut fp_fallbacks: u64 = 0;
 
-            if let Some(slot) = drf.matching(&access) {
-                // Disarm before delivery, like a real handler clearing DR7.
-                let info = drf.disarm(slot).expect("matching() returned an armed slot");
-                ledger.traps += 1;
-                let trap = Trap {
-                    access,
-                    index,
-                    slot,
-                    info,
-                    counters,
+        loop {
+            if try_chunks {
+                let consumed = match stream.next_chunk() {
+                    Some(chunk) => {
+                        fp_chunks += 1;
+                        fp_scanned += chunk.len() as u64;
+                        run_chunk(chunk, &mut pmu, &mut drf, &mut ledger, profiler, &mut index);
+                        chunk.len()
+                    }
+                    None => 0,
                 };
-                let mut hw = Hardware {
-                    drf: &mut drf,
-                    ledger: &mut ledger,
-                    counters,
-                    index,
-                };
-                profiler.on_trap(&trap, &mut hw);
+                if consumed > 0 {
+                    stream.consume_chunk(consumed);
+                    continue;
+                }
+                // No chunk: the stream is exhausted (or lied about its
+                // capability); drain whatever is left per access.
+                try_chunks = false;
             }
-
-            if outcome == PmuOutcome::SampleHere {
-                ledger.samples += 1;
-                let sample = Sample {
-                    access,
-                    index,
-                    counters,
-                };
-                let mut hw = Hardware {
-                    drf: &mut drf,
-                    ledger: &mut ledger,
-                    counters,
-                    index,
-                };
-                profiler.on_sample(&sample, &mut hw);
-            }
-
+            let Some(access) = stream.next_access() else {
+                break;
+            };
+            fp_fallbacks += 1;
+            step_access(access, &mut pmu, &mut drf, &mut ledger, profiler, index);
             index += 1;
+        }
+
+        if fp_chunks > 0 || fp_scanned > 0 {
+            rdx_metrics::counter("rdx.machine.fastpath.chunks").add(fp_chunks);
+            rdx_metrics::counter("rdx.machine.fastpath.scanned_accesses").add(fp_scanned);
+        }
+        if fp_fallbacks > 0 {
+            rdx_metrics::counter("rdx.machine.fastpath.fallbacks").add(fp_fallbacks);
         }
 
         let counters = pmu.counters();
@@ -301,6 +317,118 @@ impl Machine {
             counters,
             ledger,
             cost: self.config.cost,
+        }
+    }
+}
+
+/// One access through the full PMU + debug-register state machines: the
+/// single stepping implementation both the slow loop and the fast path's
+/// event deliveries go through.
+fn step_access(
+    access: Access,
+    pmu: &mut Pmu,
+    drf: &mut DebugRegisterFile,
+    ledger: &mut CostLedger,
+    profiler: &mut impl Profiler,
+    index: u64,
+) {
+    let outcome = pmu.on_event(access.kind.is_store());
+    ledger.accesses += 1;
+    let counters = pmu.counters();
+
+    if let Some(slot) = drf.matching(&access) {
+        // Disarm before delivery, like a real handler clearing DR7.
+        let info = drf.disarm(slot).expect("matching() returned an armed slot");
+        ledger.traps += 1;
+        let trap = Trap {
+            access,
+            index,
+            slot,
+            info,
+            counters,
+        };
+        let mut hw = Hardware {
+            drf,
+            ledger,
+            counters,
+            index,
+        };
+        profiler.on_trap(&trap, &mut hw);
+    }
+
+    if outcome == PmuOutcome::SampleHere {
+        ledger.samples += 1;
+        let sample = Sample {
+            access,
+            index,
+            counters,
+        };
+        let mut hw = Hardware {
+            drf,
+            ledger,
+            counters,
+            index,
+        };
+        profiler.on_sample(&sample, &mut hw);
+    }
+}
+
+/// Replays one contiguous chunk through the event-driven fast path.
+///
+/// Invariant on entry and exit: `pmu.countdown() ≥ 1`, no skid pending,
+/// and the needle set is rebuilt after every delivered event (the only
+/// points where a handler can rearrange the registers). Each iteration
+/// handles one *segment*: the quiet prefix bounded by the next overflow
+/// (`countdown − 1` accesses) and the chunk end, scanned in bulk, then
+/// at most one single-stepped event access.
+fn run_chunk(
+    chunk: &[Access],
+    pmu: &mut Pmu,
+    drf: &mut DebugRegisterFile,
+    ledger: &mut CostLedger,
+    profiler: &mut impl Profiler,
+    index: &mut u64,
+) {
+    let mut needles = NeedleSet::from_registers(drf);
+    let mut pos: usize = 0;
+    while pos < chunk.len() {
+        let remaining = chunk.len() - pos;
+        // The overflow access itself must single-step (it consumes RNG
+        // and delivers the sample), so the scannable quiet run is at
+        // most countdown − 1 accesses long.
+        let gap = pmu.countdown() - 1;
+        let quiet = remaining.min(usize::try_from(gap).unwrap_or(usize::MAX));
+        let scan = needles.scan(&chunk[pos..pos + quiet]);
+        match scan.first_match {
+            Some(off) => {
+                // Trap inside the quiet run: bulk-advance the prefix,
+                // then step the trapping access for real.
+                let prefix = off as u64;
+                pmu.advance_quiet(prefix - scan.stores_before, scan.stores_before);
+                ledger.accesses += prefix;
+                *index += prefix;
+                step_access(chunk[pos + off], pmu, drf, ledger, profiler, *index);
+                *index += 1;
+                pos += off + 1;
+                needles = NeedleSet::from_registers(drf);
+            }
+            None => {
+                // Whole quiet run passes without an event.
+                let run = quiet as u64;
+                pmu.advance_quiet(run - scan.stores_before, scan.stores_before);
+                ledger.accesses += run;
+                *index += run;
+                pos += quiet;
+                if quiet < remaining {
+                    // Next access overflows the sampling counter.
+                    step_access(chunk[pos], pmu, drf, ledger, profiler, *index);
+                    *index += 1;
+                    pos += 1;
+                    needles = NeedleSet::from_registers(drf);
+                }
+                // else: chunk exhausted mid-gap; the countdown carries
+                // the remainder into the next chunk (or the run's end).
+            }
         }
     }
 }

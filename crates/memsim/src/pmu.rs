@@ -159,6 +159,49 @@ impl Pmu {
         self.config
     }
 
+    /// Counted events until the next overflow fires (always ≥ 1: the
+    /// countdown is re-armed the instant it reaches zero).
+    #[must_use]
+    pub fn countdown(&self) -> u64 {
+        self.countdown
+    }
+
+    /// True while an overflowed (skidding) sample has yet to materialize.
+    ///
+    /// The bulk fast path must not engage while this is set: the skid
+    /// pipeline advances per counted event.
+    #[must_use]
+    pub fn skid_pending(&self) -> bool {
+        self.pending_skid.is_some()
+    }
+
+    /// Bulk-advances the PMU over a run of events known to be quiet.
+    ///
+    /// Equivalent to `loads + stores` calls to [`Pmu::on_event`] that all
+    /// return [`PmuOutcome::Quiet`] — same counter values, same countdown,
+    /// and (crucially) no RNG consumption, so a subsequent single-stepped
+    /// overflow draws the identical next gap. The caller must guarantee
+    /// quietness: the run must be shorter than the countdown when the
+    /// sampled event is `Accesses`, and no skid may be in flight.
+    ///
+    /// Event-kind filtering (`Loads`/`Stores` sampling) would make "events
+    /// until overflow" depend on the mix, so bulk advance is restricted to
+    /// the `Accesses` event RDX actually samples; debug builds assert all
+    /// of this.
+    pub fn advance_quiet(&mut self, loads: u64, stores: u64) {
+        debug_assert_eq!(
+            self.config.event,
+            PmuEvent::Accesses,
+            "bulk advance only models the all-accesses sampling event"
+        );
+        debug_assert!(self.pending_skid.is_none(), "skid in flight");
+        let counted = loads + stores;
+        debug_assert!(counted < self.countdown, "bulk run covers an overflow");
+        self.counters.loads += loads;
+        self.counters.stores += stores;
+        self.countdown -= counted;
+    }
+
     /// Advances the PMU by one memory access event.
     ///
     /// `is_store` selects which counter increments. Returns whether the
@@ -331,6 +374,40 @@ mod tests {
                 "sample {k} at {i}, overflow at {overflow_at}"
             );
         }
+    }
+
+    #[test]
+    fn bulk_advance_matches_stepped_quiet_run() {
+        let cfg = SamplingConfig::precise(500);
+        let mut stepped = Pmu::new(cfg, 9);
+        let mut bulk = Pmu::new(cfg, 9);
+        assert!(stepped.countdown() > 100);
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for i in 0..100u64 {
+            let is_store = i % 3 == 0;
+            assert_eq!(stepped.on_event(is_store), PmuOutcome::Quiet);
+            if is_store {
+                stores += 1;
+            } else {
+                loads += 1;
+            }
+        }
+        bulk.advance_quiet(loads, stores);
+        assert_eq!(bulk.counters(), stepped.counters());
+        assert_eq!(bulk.countdown(), stepped.countdown());
+        assert!(!bulk.skid_pending());
+        // Walk both to the overflow: they fire on the same event and
+        // re-arm with the same (RNG-drawn) next gap.
+        let left = bulk.countdown();
+        for k in 1..=left {
+            let a = stepped.on_event(false);
+            let b = bulk.on_event(false);
+            assert_eq!(a, b);
+            if k == left {
+                assert_eq!(a, PmuOutcome::SampleHere);
+            }
+        }
+        assert_eq!(bulk.countdown(), stepped.countdown());
     }
 
     #[test]

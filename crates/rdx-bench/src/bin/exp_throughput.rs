@@ -1,0 +1,138 @@
+//! Throughput contrast: chunk-scanning fast path vs per-access slow loop.
+//!
+//! For every registry workload at the paper's 64 Ki operating point, the
+//! trace is materialized once and profiled twice — through the zero-copy
+//! chunk fast path (`trace.stream()`) and through the same stream with
+//! its chunk capability hidden (`Opaque`), which forces the machine to
+//! single-step every access. Both runs produce bit-identical profiles
+//! (asserted here; the binary fails loudly on divergence), so the only
+//! difference is accesses per second.
+//!
+//! Besides the table, results are written to `BENCH_rdx.json` (path
+//! override: `RDX_BENCH_OUT`) for CI artifact upload. `RDX_ACCESSES`
+//! scales the run; `RDX_REPS` (default 3) controls how many timed
+//! repetitions the minimum is taken over.
+
+use rdx_bench::{experiment_params, paper_config, print_table};
+use rdx_core::{RdxProfile, RdxRunner};
+use rdx_trace::{Opaque, Trace};
+use rdx_workloads::suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    fast_aps: f64,
+    slow_aps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.fast_aps / self.slow_aps
+    }
+}
+
+/// Minimum wall time of `reps` runs of `f` (seconds, > 0).
+fn time_min<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn assert_identical(name: &str, fast: &RdxProfile, slow: &RdxProfile) {
+    assert_eq!(fast.rd, slow.rd, "{name}: rd histogram diverged");
+    assert_eq!(fast.rt, slow.rt, "{name}: rt histogram diverged");
+    assert_eq!(fast.samples, slow.samples, "{name}: sample count diverged");
+    assert_eq!(fast.traps, slow.traps, "{name}: trap count diverged");
+    assert_eq!(
+        fast.m_estimate.to_bits(),
+        slow.m_estimate.to_bits(),
+        "{name}: m_estimate diverged"
+    );
+}
+
+fn main() {
+    let params = experiment_params();
+    let config = paper_config();
+    let period = config.machine.sampling.period;
+    let reps: u32 = std::env::var("RDX_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    println!(
+        "Throughput: bulk-scan fast path vs per-access loop \
+         ({} accesses, period {}, best of {})\n",
+        params.accesses, period, reps
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in suite() {
+        let trace = Trace::from_stream(w.name, w.stream(&params));
+        let n = trace.len() as f64;
+        let runner = RdxRunner::new(config);
+        let (fast_s, fast) = time_min(reps, || runner.profile(trace.stream()));
+        let (slow_s, slow) = time_min(reps, || runner.profile(Opaque::new(trace.stream())));
+        assert_identical(w.name, &fast, &slow);
+        rows.push(Row {
+            name: w.name,
+            fast_aps: n / fast_s,
+            slow_aps: n / slow_s,
+        });
+    }
+
+    print_table(
+        &["workload", "fast acc/s", "slow acc/s", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.3e}", r.fast_aps),
+                    format!("{:.3e}", r.slow_aps),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let max = rows.iter().map(Row::speedup).fold(0.0f64, f64::max);
+    println!("\nmax speedup: {max:.2}x (profiles verified bit-identical)");
+
+    let out = std::env::var("RDX_BENCH_OUT").unwrap_or_else(|_| "BENCH_rdx.json".into());
+    std::fs::write(&out, render_json(&rows, params.accesses, period, max))
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// Hand-rolled JSON (the workspace deliberately vendors no JSON crate):
+/// every value written is a finite number or a registry identifier, so
+/// no string escaping is needed.
+fn render_json(rows: &[Row], accesses: u64, period: u64, max: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"accesses\": {accesses},");
+    let _ = writeln!(s, "  \"period\": {period},");
+    let _ = writeln!(s, "  \"max_speedup\": {max:.3},");
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"fast_accesses_per_sec\": {:.1}, \
+             \"slow_accesses_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            r.name,
+            r.fast_aps,
+            r.slow_aps,
+            r.speedup()
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -53,11 +53,26 @@ impl WeightedFootprint {
     ///   *intervening-accesses* convention, scaled to full-trace counts.
     #[must_use]
     pub fn from_sampled(n: u64, cold_weight: f64, reuse_intervals: &[(u64, f64)]) -> Self {
+        Self::from_sampled_iter(n, cold_weight, reuse_intervals.iter().copied())
+    }
+
+    /// Iterator-driven form of [`from_sampled`](Self::from_sampled),
+    /// for callers that derive the scaled pairs on the fly (the runner
+    /// scales raw IPCW weights without materializing an intermediate
+    /// vector). Weight arithmetic is performed in encounter order, so a
+    /// slice and an iterator over the same pairs build bit-identical
+    /// curves.
+    #[must_use]
+    pub fn from_sampled_iter(
+        n: u64,
+        cold_weight: f64,
+        reuse_intervals: impl IntoIterator<Item = (u64, f64)>,
+    ) -> Self {
         // Aggregate weights per index-difference length ℓ = t + 1.
         let mut by_len: Vec<(u64, f64)> = reuse_intervals
-            .iter()
-            .filter(|&&(_, w)| w > 0.0)
-            .map(|&(t, w)| (t + 1, w))
+            .into_iter()
+            .filter(|&(_, w)| w > 0.0)
+            .map(|(t, w)| (t + 1, w))
             .collect();
         by_len.sort_unstable_by_key(|&(l, _)| l);
         let finite: f64 = by_len.iter().map(|&(_, w)| w).sum();

@@ -73,21 +73,27 @@ impl RdxProfiler {
     }
 
     fn evict_victim(&mut self, hw: &mut Hardware) -> Option<Slot> {
-        let armed: Vec<(Slot, u64)> = hw
-            .armed_iter()
-            .map(|(slot, info)| (slot, info.armed_at))
-            .collect();
-        if armed.is_empty() {
-            return None;
-        }
-        let slot = match self.replacement {
-            ReplacementPolicy::DropNew => return None,
-            ReplacementPolicy::EvictOldest => {
-                armed.iter().min_by_key(|&&(_, at)| at).map(|&(s, _)| s)?
+        // Runs inside the sample handler whenever the register file is
+        // full, so it must not allocate: each policy walks `armed_iter`
+        // directly. `min_by_key` returns the *first* minimal element,
+        // matching the old collect-then-scan victim on `armed_at` ties,
+        // and the RNG is drawn only for `EvictRandom` with a non-empty
+        // file — the exact draw schedule of the allocating version.
+        match self.replacement {
+            ReplacementPolicy::DropNew => None,
+            ReplacementPolicy::EvictOldest => hw
+                .armed_iter()
+                .min_by_key(|&(_, info)| info.armed_at)
+                .map(|(slot, _)| slot),
+            ReplacementPolicy::EvictRandom => {
+                let count = hw.armed_count();
+                if count == 0 {
+                    return None;
+                }
+                let k = self.rng.random_range(0..count);
+                hw.armed_iter().nth(k).map(|(slot, _)| slot)
             }
-            ReplacementPolicy::EvictRandom => armed[self.rng.random_range(0..armed.len())].0,
-        };
-        Some(slot)
+        }
     }
 }
 
@@ -99,14 +105,17 @@ impl Profiler for RdxProfiler {
         // samples that would otherwise clog the register file forever.
         if self.max_armed_accesses > 0 {
             let now = hw.access_count();
-            let expired: Vec<Slot> = hw
-                .armed_iter()
-                .filter(|(_, info)| {
-                    now.saturating_sub(info.accesses_at_arm) > self.max_armed_accesses
-                })
-                .map(|(slot, _)| slot)
-                .collect();
-            for slot in expired {
+            // The register file holds at most 64 slots, so a fixed stack
+            // buffer replaces a per-sample heap allocation here.
+            let mut expired = [Slot(0); 64];
+            let mut expired_len = 0;
+            for (slot, info) in hw.armed_iter() {
+                if now.saturating_sub(info.accesses_at_arm) > self.max_armed_accesses {
+                    expired[expired_len] = slot;
+                    expired_len += 1;
+                }
+            }
+            for &slot in &expired[..expired_len] {
                 if let Some(info) = hw.disarm(slot) {
                     rdx_metrics::counter("rdx.profiler.evictions").incr();
                     self.evicted.push(now.saturating_sub(info.accesses_at_arm));
@@ -159,9 +168,14 @@ impl Profiler for RdxProfiler {
 
     fn on_finish(&mut self, hw: &mut Hardware) {
         let now = hw.access_count();
-        let armed: Vec<Slot> = hw.armed_iter().map(|(slot, _)| slot).collect();
+        let mut armed = [Slot(0); 64];
+        let mut armed_len = 0;
+        for (slot, _) in hw.armed_iter() {
+            armed[armed_len] = slot;
+            armed_len += 1;
+        }
         let mut end_censored = 0u64;
-        for slot in armed {
+        for &slot in &armed[..armed_len] {
             if let Some(info) = hw.disarm(slot) {
                 end_censored += 1;
                 self.end_censored

@@ -149,35 +149,34 @@ impl RdxRunner {
             0.0
         };
 
+        // --- Time → distance conversion -------------------------------
+        // One pass over the pairs feeds both histograms: the footprint
+        // curve is built from a scaling iterator and each pair is scaled
+        // once, recorded into rt, converted, and recorded into rd — no
+        // intermediate scaled vector, no re-scan.
+        let convert_span = rdx_metrics::span("convert");
+        let fp = match cfg.conversion {
+            ConversionMethod::Footprint => Some(WeightedFootprint::from_sampled_iter(
+                n,
+                m_estimate,
+                pair_weights.iter().map(|&(t, w)| (t, w * scale)),
+            )),
+            ConversionMethod::TimeAsDistance => None,
+        };
+        let footprint_bytes = fp.as_ref().map_or(0, WeightedFootprint::memory_bytes);
         let mut rt = RtHistogram::new(cfg.binning);
+        let mut rd = RdHistogram::new(cfg.binning);
         for &(t, w) in &pair_weights {
-            rt.record(ReuseTime::finite(t), w * scale);
+            let w = w * scale;
+            rt.record(ReuseTime::finite(t), w);
+            let d = match &fp {
+                Some(fp) => fp.distance_of(t),
+                None => ReuseDistance::finite(t),
+            };
+            rd.record(d, w);
         }
         if m_estimate > 0.0 {
             rt.record(ReuseTime::INFINITE, m_estimate);
-        }
-
-        // --- Time → distance conversion -------------------------------
-        let convert_span = rdx_metrics::span("convert");
-        let scaled_pairs: Vec<(u64, f64)> =
-            pair_weights.iter().map(|&(t, w)| (t, w * scale)).collect();
-        let mut rd = RdHistogram::new(cfg.binning);
-        let mut footprint_bytes = 0usize;
-        match cfg.conversion {
-            ConversionMethod::Footprint => {
-                let fp = WeightedFootprint::from_sampled(n, m_estimate, &scaled_pairs);
-                footprint_bytes = fp.memory_bytes();
-                for &(t, w) in &scaled_pairs {
-                    rd.record(fp.distance_of(t), w);
-                }
-            }
-            ConversionMethod::TimeAsDistance => {
-                for &(t, w) in &scaled_pairs {
-                    rd.record(ReuseDistance::finite(t), w);
-                }
-            }
-        }
-        if m_estimate > 0.0 {
             rd.record(ReuseDistance::INFINITE, m_estimate);
         }
         drop(convert_span);

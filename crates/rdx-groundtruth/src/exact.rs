@@ -1,11 +1,11 @@
 //! Whole-stream exact measurement drivers.
 
+use crate::fxhash::FxHashMap;
 use crate::olken::OlkenTracker;
 use crate::structure::DistanceStructure;
 use crate::structure::FenwickStructure;
 use rdx_histogram::{Binning, RdHistogram, ReuseDistance, ReuseTime, RtHistogram};
 use rdx_trace::{AccessStream, Granularity};
-use std::collections::HashMap;
 
 /// The complete exact profile of an access stream: reuse-distance and
 /// reuse-time histograms plus measurement bookkeeping.
@@ -49,7 +49,7 @@ impl ExactProfile {
         binning: Binning,
     ) -> ExactProfile {
         let mut olken = OlkenTracker::<D>::with_structure();
-        let mut last_time: HashMap<u64, u64> = HashMap::new();
+        let mut last_time: FxHashMap<u64, u64> = FxHashMap::default();
         let mut rd = RdHistogram::new(binning);
         let mut rt = RtHistogram::new(binning);
         let mut time = 0u64;

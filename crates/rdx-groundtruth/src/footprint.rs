@@ -21,6 +21,7 @@
 //! distance of a pair with reuse time `t` is `≈ fp(t)`. This module provides
 //! the exact curve; `rdx-core` builds the sampled estimate.
 
+use crate::fxhash::FxHashMap;
 use rdx_trace::{AccessStream, Granularity};
 use std::collections::HashMap;
 
@@ -40,8 +41,8 @@ impl FootprintCurve {
     /// granularity.
     #[must_use]
     pub fn measure(mut stream: impl AccessStream, granularity: Granularity) -> FootprintCurve {
-        let mut last: HashMap<u64, u64> = HashMap::new();
-        let mut first: HashMap<u64, u64> = HashMap::new();
+        let mut last: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut first: FxHashMap<u64, u64> = FxHashMap::default();
         let mut lengths: Vec<u64> = Vec::new();
         let mut time: u64 = 0; // 0-based access index
         while let Some(a) = stream.next_access() {

@@ -40,12 +40,14 @@
 
 pub mod exact;
 pub mod footprint;
+pub mod fxhash;
 mod olken;
 pub mod sharded;
 mod structure;
 
 pub use exact::{brute_force_rd, ExactProfile};
 pub use footprint::FootprintCurve;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use olken::OlkenTracker;
 pub use sharded::ShardedExact;
 pub use structure::{DistanceStructure, FenwickStructure, SplayStructure, TreapStructure};

@@ -1,8 +1,8 @@
 //! Olken's exact reuse-distance algorithm.
 
+use crate::fxhash::FxHashMap;
 use crate::structure::{DistanceStructure, FenwickStructure};
 use rdx_histogram::ReuseDistance;
-use std::collections::HashMap;
 
 /// Exact per-access reuse-distance measurement (Olken's algorithm).
 ///
@@ -20,7 +20,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct OlkenTracker<D = FenwickStructure> {
     structure: D,
-    last_access: HashMap<u64, u64>,
+    // Fx-hashed: one probe per access makes this the tracker's hottest
+    // map, and the deterministic hasher keeps runs seed-independent.
+    last_access: FxHashMap<u64, u64>,
     time: u64,
 }
 
@@ -38,7 +40,7 @@ impl<D: DistanceStructure + Default> OlkenTracker<D> {
     pub fn with_structure() -> Self {
         OlkenTracker {
             structure: D::default(),
-            last_access: HashMap::new(),
+            last_access: FxHashMap::default(),
             time: 0,
         }
     }

@@ -40,9 +40,9 @@
 //!    and is enforced by tests across the entire workload registry.
 
 use crate::exact::ExactProfile;
+use crate::fxhash::FxHashMap;
 use rdx_histogram::{Binning, RdHistogram, ReuseDistance, ReuseTime, RtHistogram};
 use rdx_trace::{AccessStream, Chunk, Chunker, Granularity, DEFAULT_CHUNK_CAPACITY};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -81,7 +81,9 @@ impl ShardPass {
         granularity: Granularity,
         binning: Binning,
     ) -> ShardPass {
-        let mut last: HashMap<u64, u32> = HashMap::new();
+        // Each shard's block-ownership map takes one probe per owned
+        // access; the deterministic Fx hasher keeps that probe cheap.
+        let mut last: FxHashMap<u64, u32> = FxHashMap::default();
         let mut times: Vec<u64> = Vec::new();
         let mut prev: Vec<Option<u32>> = Vec::new();
         let mut queries: Vec<(u64, u64)> = Vec::new();

@@ -13,6 +13,10 @@
 //!   lines, a.k.a. data blocks of 64 bytes).
 //! * [`Chunker`] / [`Chunk`] — bounded-size, globally-indexed chunking of
 //!   a stream, the transport unit of the parallel measurement paths.
+//! * [`AccessStream::next_chunk`] / [`Chunked`] — borrowed-slice access to
+//!   contiguous runs of a stream, the transport of the machine's bulk-scan
+//!   fast path ([`Opaque`] hides the capability when the per-access slow
+//!   path must be forced).
 //! * [`io`] — a compact binary trace format (magic + version header,
 //!   delta-encoded addresses) for persisting traces, with a streaming
 //!   [`TraceReader`] and typed [`TraceError`]s: malformed input is a
@@ -40,9 +44,9 @@ mod stats;
 mod stream;
 mod trace;
 
-pub use chunk::{Chunk, Chunker, DEFAULT_CHUNK_CAPACITY};
+pub use chunk::{Chunk, Chunked, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
 pub use io::{TraceError, TraceReader};
 pub use stats::TraceStats;
-pub use stream::{AccessStream, FnStream, Take};
+pub use stream::{AccessStream, FnStream, Opaque, Take};
 pub use trace::{Trace, TraceStream};

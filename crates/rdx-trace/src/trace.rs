@@ -148,6 +148,25 @@ impl AccessStream for TraceStream<'_> {
     fn remaining_hint(&self) -> Option<u64> {
         Some((self.trace.accesses.len() - self.pos) as u64)
     }
+
+    fn chunk_capable(&self) -> bool {
+        true
+    }
+
+    /// Zero-copy: the entire unread remainder of the trace as one slice.
+    fn next_chunk(&mut self) -> Option<&[Access]> {
+        let rest = &self.trace.accesses[self.pos..];
+        if rest.is_empty() {
+            None
+        } else {
+            Some(rest)
+        }
+    }
+
+    fn consume_chunk(&mut self, n: usize) {
+        debug_assert!(n <= self.trace.accesses.len() - self.pos);
+        self.pos += n;
+    }
 }
 
 /// Convenience: build a load/store trace from `(addr, is_store)` pairs.
