@@ -337,23 +337,25 @@ fn step_access(
     let counters = pmu.counters();
 
     if let Some(slot) = drf.matching(&access) {
-        // Disarm before delivery, like a real handler clearing DR7.
-        let info = drf.disarm(slot).expect("matching() returned an armed slot");
-        ledger.traps += 1;
-        let trap = Trap {
-            access,
-            index,
-            slot,
-            info,
-            counters,
-        };
-        let mut hw = Hardware {
-            drf,
-            ledger,
-            counters,
-            index,
-        };
-        profiler.on_trap(&trap, &mut hw);
+        // Disarm before delivery, like a real handler clearing DR7;
+        // matching() only returns armed slots, so disarm cannot miss.
+        if let Some(info) = drf.disarm(slot) {
+            ledger.traps += 1;
+            let trap = Trap {
+                access,
+                index,
+                slot,
+                info,
+                counters,
+            };
+            let mut hw = Hardware {
+                drf,
+                ledger,
+                counters,
+                index,
+            };
+            profiler.on_trap(&trap, &mut hw);
+        }
     }
 
     if outcome == PmuOutcome::SampleHere {

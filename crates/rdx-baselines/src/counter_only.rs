@@ -1,9 +1,9 @@
 //! PMU-sampling-only baseline (no debug registers).
 
 use crate::BaselineProfile;
+use rdx_groundtruth::FxHashMap;
 use rdx_histogram::{Binning, RdHistogram, ReuseDistance};
 use rdx_trace::{AccessStream, Granularity};
-use std::collections::HashMap;
 
 /// Counter-only profiling: PMU address samples without watchpoints.
 ///
@@ -43,7 +43,7 @@ impl CounterOnly {
     /// Profiles a stream from samples alone.
     #[must_use]
     pub fn profile(&self, mut stream: impl AccessStream) -> BaselineProfile {
-        let mut last_sample: HashMap<u64, u64> = HashMap::new();
+        let mut last_sample: FxHashMap<u64, u64> = FxHashMap::default();
         let mut rd = RdHistogram::new(self.binning);
         let mut accesses = 0u64;
         let mut samples = 0u64;

@@ -1,0 +1,67 @@
+//! Baseline profiles are pinned to a golden digest, exactly like the
+//! RDX registry digest in `rdx-core`.
+//!
+//! The baselines' hot maps (e.g. `CounterOnly`'s `last_sample`) use the
+//! vendored deterministic Fx hasher, and their outputs must not depend
+//! on map iteration order or hasher choice at all: this test digests
+//! the exact f64 bit patterns of every suite workload's histogram under
+//! both sampling baselines and compares against one recorded constant.
+//! Any hasher or map-migration change that perturbs results — rather
+//! than just their internal layout — fails here.
+
+use rdx_baselines::{BaselineProfile, CounterOnly, Shards};
+use rdx_histogram::Histogram;
+use rdx_workloads::{suite, Params};
+
+/// FNV-1a over u64 words (histogram bounds + weight bit patterns).
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn push_histogram(&mut self, h: &Histogram) {
+        for b in h.buckets() {
+            self.push(b.range.lo);
+            self.push(b.range.hi);
+            self.push(b.weight.to_bits());
+        }
+        self.push(h.infinite_weight().to_bits());
+    }
+
+    fn push_profile(&mut self, p: &BaselineProfile) {
+        self.push_histogram(p.rd.as_histogram());
+        self.push(p.accesses);
+        self.push(p.observed_accesses);
+    }
+}
+
+/// Recorded from a run at the pinned operating point below. The digest
+/// deliberately excludes `tool_bytes` (capacity-derived, an accounting
+/// detail) so it pins *measurement* results only.
+const GOLDEN: u64 = 0xd2cf_eb89_c183_6951;
+
+#[test]
+fn baseline_suite_digest_is_pinned() {
+    let params = Params::default().with_accesses(60_000).with_elements(800);
+    let mut digest = Digest::new();
+    for w in suite() {
+        digest.push_profile(&CounterOnly::new(512).profile(w.stream(&params)));
+        digest.push_profile(&Shards::new(0.01).profile(w.stream(&params)));
+    }
+    assert_eq!(
+        digest.0, GOLDEN,
+        "baseline suite digest {:#018x} deviates from the recorded \
+         baseline — sampling results must be bit-stable across runs and \
+         hasher-internals changes",
+        digest.0,
+    );
+}

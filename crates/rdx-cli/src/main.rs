@@ -19,6 +19,8 @@
 //! a mismatch is a failure. `rdx trace <file>` validates a serialized
 //! trace, reporting decode errors instead of crashing on corrupt input.
 
+#![forbid(unsafe_code)]
+
 use rdx_core::{profile_batch, BatchTask, RdxConfig, RdxProfile, RdxRunner};
 use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;

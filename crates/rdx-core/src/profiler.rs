@@ -149,9 +149,15 @@ impl Profiler for RdxProfiler {
                 }
             }
         }
-        hw.arm(wp, sample.access.addr.raw())
-            .expect("a register was freed or available");
-        rdx_metrics::counter("rdx.profiler.watchpoints_armed").incr();
+        match hw.arm(wp, sample.access.addr.raw()) {
+            Ok(_) => rdx_metrics::counter("rdx.profiler.watchpoints_armed").incr(),
+            Err(_) => {
+                // Defensive: the eviction above guarantees a free slot, so
+                // treat a failed arm like a dropped sample instead of dying.
+                rdx_metrics::counter("rdx.profiler.dropped_samples").incr();
+                self.dropped_samples += 1;
+            }
+        }
     }
 
     fn on_trap(&mut self, trap: &Trap, _hw: &mut Hardware) {

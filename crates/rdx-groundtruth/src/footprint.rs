@@ -23,7 +23,6 @@
 
 use crate::fxhash::FxHashMap;
 use rdx_trace::{AccessStream, Granularity};
-use std::collections::HashMap;
 
 /// An exact average-footprint curve, queryable at any window length.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,7 +142,7 @@ pub fn direct_average_footprint(blocks: &[u64], w: usize) -> f64 {
     if w == 0 || n == 0 || w > n {
         return if w == 0 { 0.0 } else { f64::NAN };
     }
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
     let mut distinct_sum = 0u64;
     for &b in &blocks[..w] {
         *counts.entry(b).or_insert(0) += 1;

@@ -14,7 +14,7 @@
 //! `HashMap`, so capacity/occupancy semantics (and therefore the
 //! `memory_bytes` accounting built on `capacity()`) are unchanged.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // rdx-lint-allow: hash-collections — std map with the deterministic Fx hasher below
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplier from the FxHash scheme (a 64-bit truncation of π scaled —

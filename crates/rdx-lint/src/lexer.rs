@@ -1,0 +1,585 @@
+//! A token-level Rust lexer, sufficient for invariant linting.
+//!
+//! This is deliberately *not* a parser: the lints only need to see
+//! identifier/punctuation sequences (`std :: collections :: HashMap`,
+//! `. unwrap (`) with comments and string/char literals correctly
+//! skipped, plus two structural services a raw text grep cannot provide:
+//!
+//! 1. **`#[cfg(test)]` stripping** — test modules and test-gated items
+//!    are exempt from every file-level lint (tests may `unwrap`, build
+//!    `HashMap`s, and read clocks freely), so [`strip_cfg_test`] removes
+//!    them from the token stream before the lints run.
+//! 2. **Suppression directives** — a `// rdx-lint-allow: <lint>` line
+//!    comment suppresses matching violations on its own line or the
+//!    line directly below it; the lexer collects these while tokenizing.
+//!
+//! The lexer handles nested block comments, raw strings (`r#"…"#`),
+//! byte strings, char literals vs. lifetimes, and raw identifiers —
+//! everything needed to never misread a literal as code.
+
+use std::collections::HashMap;
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// A string or byte-string literal; `text` is the *inner* content.
+    Str,
+    /// A character or byte literal (delimiters stripped).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for the single punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A lexed source file: token stream plus suppression directives.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens outside comments, in source order.
+    pub tokens: Vec<Tok>,
+    /// Line → lint names allowed on that line (from `rdx-lint-allow:`).
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+impl LexedFile {
+    /// True when `lint` is suppressed at `line` (directive on the same
+    /// line — a trailing comment — or on the line directly above).
+    #[must_use]
+    pub fn is_allowed(&self, lint: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|names| names.iter().any(|n| n == lint))
+        })
+    }
+}
+
+/// Parses the lint-name list out of a comment containing an
+/// `rdx-lint-allow:` directive. Names are kebab-case, separated by
+/// commas or spaces; the first non-name word starts the justification.
+#[must_use]
+pub fn parse_allow_directive(comment: &str) -> Option<Vec<String>> {
+    const KEY: &str = "rdx-lint-allow:";
+    let rest = &comment[comment.find(KEY)? + KEY.len()..];
+    let mut names = Vec::new();
+    for word in rest.split([',', ' ', '\t']).filter(|w| !w.is_empty()) {
+        let looks_like_lint = word.chars().all(|c| c.is_ascii_lowercase() || c == '-')
+            && word.chars().any(|c| c.is_ascii_lowercase());
+        if looks_like_lint {
+            names.push(word.to_string());
+        } else {
+            break; // the justification text begins here
+        }
+    }
+    (!names.is_empty()).then_some(names)
+}
+
+/// Tokenizes Rust source. Never fails: unterminated constructs consume
+/// to end-of-file, which is the right degradation for a linter.
+#[must_use]
+pub fn lex(src: &str) -> LexedFile {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexedFile {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos + 1),
+                b'b' | b'r' if self.raw_or_byte_prefix() => {}
+                b'\'' => self.char_or_lifetime(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    // One punctuation character (multi-byte UTF-8 chars
+                    // only occur inside comments/strings in practice,
+                    // but consume them whole to stay in char sync).
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    self.push(TokKind::Punct, self.pos, self.pos + ch_len);
+                    self.pos += ch_len;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.out.tokens.push(Tok {
+            kind,
+            text: self.src[start..end].to_string(),
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        if let Some(names) = parse_allow_directive(&self.src[start..self.pos]) {
+            self.out.allows.entry(self.line).or_default().extend(names);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Cooked string starting after its opening quote at `content_start`.
+    fn string(&mut self, content_start: usize) {
+        let line = self.line;
+        self.pos = content_start;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.out.tokens.push(Tok {
+            kind: TokKind::Str,
+            text: self.src[content_start..end].to_string(),
+            line,
+        });
+        self.pos += 1; // closing quote
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns true when it consumed something.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut i = self.pos;
+        if self.bytes[i] == b'b' {
+            i += 1;
+        }
+        let after_b = i;
+        if self.bytes.get(i) == Some(&b'r') {
+            i += 1;
+            let mut hashes = 0usize;
+            while self.bytes.get(i) == Some(&b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.bytes.get(i) == Some(&b'"') {
+                self.raw_string(i + 1, hashes);
+                return true;
+            }
+            if hashes == 1 && after_b == self.pos {
+                // `r#ident` — a raw identifier.
+                if self
+                    .bytes
+                    .get(i)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphabetic())
+                {
+                    self.pos = i;
+                    self.ident();
+                    return true;
+                }
+            }
+            return false; // plain ident starting with r/br
+        }
+        if after_b > self.pos {
+            match self.bytes.get(after_b) {
+                Some(b'"') => {
+                    self.string(after_b + 1);
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos = after_b;
+                    self.char_or_lifetime();
+                    return true;
+                }
+                _ => return false, // ident starting with b
+            }
+        }
+        false
+    }
+
+    fn raw_string(&mut self, content_start: usize, hashes: usize) {
+        let line = self.line;
+        self.pos = content_start;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.bytes[self.pos..].starts_with(&closer) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.out.tokens.push(Tok {
+            kind: TokKind::Str,
+            text: self.src[content_start..end].to_string(),
+            line,
+        });
+        self.pos = (self.pos + closer.len()).min(self.bytes.len());
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'` then ident-run with no closing quote → lifetime; otherwise
+        // a char literal (possibly escaped).
+        let start = self.pos;
+        let mut i = self.pos + 1;
+        if self
+            .bytes
+            .get(i)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphabetic())
+        {
+            let mut j = i + 1;
+            while self
+                .bytes
+                .get(j)
+                .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                j += 1;
+            }
+            if self.bytes.get(j) != Some(&b'\'') {
+                self.push(TokKind::Lifetime, start, j);
+                self.pos = j;
+                return;
+            }
+        }
+        // Char literal: consume to closing quote, honoring escapes.
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => break,
+                _ => {
+                    i += self.src[i..].chars().next().map_or(1, char::len_utf8);
+                }
+            }
+        }
+        let end = i.min(self.bytes.len());
+        self.push(TokKind::Char, start + 1, end);
+        self.pos = end + 1;
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, self.pos);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut seen_dot = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                // `1e-9` / `1E+9`: the sign belongs to the exponent only
+                // for decimal (non-0x) literals.
+                if (c == b'e' || c == b'E')
+                    && !self.src[start..self.pos].starts_with("0x")
+                    && matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            } else if c == b'.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // A fractional part — but not `0..n` range syntax.
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, self.pos);
+    }
+}
+
+/// Removes `#[cfg(test)]`-gated items (and their attributes) from a
+/// token stream: the attribute itself, any further attributes on the
+/// same item, and the item body through its closing `}` or `;`.
+///
+/// An attribute counts as test-gating when its path is exactly `cfg`
+/// and any identifier inside it is `test` (`#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`). `#[cfg_attr(test, …)]` does *not* remove
+/// the item it decorates and is left alone.
+#[must_use]
+pub fn strip_cfg_test(tokens: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching_bracket(tokens, i + 1);
+            if attr_is_cfg_test(&tokens[i + 2..close]) {
+                i = skip_item(tokens, close + 1);
+                continue;
+            }
+            out.extend(tokens[i..=close.min(tokens.len() - 1)].iter().cloned());
+            i = close + 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len() - 1
+}
+
+fn attr_is_cfg_test(inner: &[Tok]) -> bool {
+    inner.first().is_some_and(|t| t.is_ident("cfg")) && inner.iter().any(|t| t.is_ident("test"))
+}
+
+/// Skips further attributes, then one item: through the first `;` at
+/// zero delimiter depth, or the `}` matching the first `{` entered.
+fn skip_item(tokens: &[Tok], mut i: usize) -> usize {
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    let mut depth = 0i32;
+    let mut entered_brace = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+            entered_brace |= t.is_punct('{');
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 && entered_brace && t.is_punct('}') {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* std::collections::HashMap, /* nested */ still comment */
+            let s = "std::collections::HashMap";
+            let r = r#"Instant::now()"#;
+            let c = '"';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            ["let", "s", "let", "r", "let", "c", "let", "real", "HashMap", "new"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let ids = idents("let r#type = b\"bytes\"; let br2 = br#\"raw\"#;");
+        assert_eq!(ids, ["let", "type", "let", "br2"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..10 { x = 1e-9 + 2.5; }").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1e-9", "2.5"]);
+    }
+
+    #[test]
+    fn allow_directive_parsing() {
+        assert_eq!(
+            parse_allow_directive("// rdx-lint-allow: no-panic — invariant holds"),
+            Some(vec!["no-panic".to_string()])
+        );
+        assert_eq!(
+            parse_allow_directive("// rdx-lint-allow: wall-clock, entropy-rng — bench only"),
+            Some(vec!["wall-clock".to_string(), "entropy-rng".to_string()])
+        );
+        assert_eq!(parse_allow_directive("// ordinary comment"), None);
+    }
+
+    #[test]
+    fn allows_are_recorded_per_line() {
+        let f = lex("let a = 1;\nlet b = 2; // rdx-lint-allow: hash-collections — why\n");
+        assert!(f.is_allowed("hash-collections", 2));
+        assert!(f.is_allowed("hash-collections", 3)); // line below
+        assert!(!f.is_allowed("hash-collections", 1));
+        assert!(!f.is_allowed("no-panic", 2));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { other.unwrap(); panic!(); }
+            }
+            fn also_live() {}
+        ";
+        let toks = strip_cfg_test(&lex(src).tokens);
+        let ids: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"live"));
+        assert!(ids.contains(&"also_live"));
+        assert!(!ids.contains(&"tests"));
+        assert!(!ids.contains(&"panic"));
+    }
+
+    #[test]
+    fn cfg_test_use_item_is_stripped() {
+        let src = "#[cfg(test)]\nuse crate::debug::Watchpoint;\nfn live() {}";
+        let toks = strip_cfg_test(&lex(src).tokens);
+        assert!(!toks.iter().any(|t| t.is_ident("Watchpoint")));
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_stripped() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn kept() {}";
+        let toks = strip_cfg_test(&lex(src).tokens);
+        assert!(toks.iter().any(|t| t.is_ident("kept")));
+    }
+
+    #[test]
+    fn cfg_all_test_is_stripped() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn gone() {}\nfn kept() {}";
+        let toks = strip_cfg_test(&lex(src).tokens);
+        assert!(!toks.iter().any(|t| t.is_ident("gone")));
+        assert!(toks.iter().any(|t| t.is_ident("kept")));
+    }
+}

@@ -1,0 +1,216 @@
+//! `rdx-lint` — workspace invariant linter for the RDX reproduction.
+//!
+//! RDX's headline numbers (≈5 % overhead, >90 % accuracy) are only
+//! reproducible because profiles are **bit-identical across runs**:
+//! golden digests, RNG-draw-order parity, and the vendored FxHash maps
+//! all depend on invariants that `cargo test` cannot see. This crate is
+//! the static half of that enforcement — a rustc-`tidy`-style tool
+//! (token-level lexer + manifest reader, no `syn`, no dependencies,
+//! consistent with the offline vendor policy) that walks every crate
+//! under `crates/` and checks:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `hash-collections` | no `std::collections::HashMap`/`HashSet` in hot crates |
+//! | `wall-clock` | no `Instant::now`/`SystemTime` outside bench/metrics |
+//! | `entropy-rng` | no `thread_rng`/`from_entropy`/`OsRng`/`rand::random` outside bench/metrics |
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in hot-path modules |
+//! | `layering` | crate DAG layered, acyclic, vendored-deps-only |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `metrics-name` | counter names follow `rdx.<area>.<name>` |
+//! | `metrics-manifest` | counters declared in `COUNTERS.txt`, both directions |
+//!
+//! `#[cfg(test)]` items are exempt everywhere. Individual findings are
+//! suppressed with a justified directive on the flagged line or the
+//! line above:
+//!
+//! ```text
+//! use std::collections::HashMap; // rdx-lint-allow: hash-collections — std map + Fx hasher
+//! ```
+//!
+//! Run it with `cargo run -p rdx-lint -- check` (CI does, as a required
+//! leg). Library entry point: [`check_workspace`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod workspace;
+
+pub use config::LintConfig;
+
+use lints::Sink;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// `std::collections::HashMap`/`HashSet` in a hot crate.
+    HashCollections,
+    /// `Instant::now()`/`SystemTime` outside bench/metrics crates.
+    WallClock,
+    /// Entropy-seeded RNG outside bench/metrics crates.
+    EntropyRng,
+    /// `unwrap`/`expect`/panicking macro in a hot-path module.
+    NoPanic,
+    /// Crate-DAG violation: upward edge, cycle, or unvendored dep.
+    Layering,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// Metrics counter name not matching `rdx.<area>.<name>`.
+    MetricsName,
+    /// Counter not declared in the manifest (or declared but unused).
+    MetricsManifest,
+}
+
+impl Lint {
+    /// Every lint, in catalog order.
+    pub const ALL: [Lint; 8] = [
+        Lint::HashCollections,
+        Lint::WallClock,
+        Lint::EntropyRng,
+        Lint::NoPanic,
+        Lint::Layering,
+        Lint::ForbidUnsafe,
+        Lint::MetricsName,
+        Lint::MetricsManifest,
+    ];
+
+    /// The kebab-case name used in diagnostics and `rdx-lint-allow:`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::HashCollections => "hash-collections",
+            Lint::WallClock => "wall-clock",
+            Lint::EntropyRng => "entropy-rng",
+            Lint::NoPanic => "no-panic",
+            Lint::Layering => "layering",
+            Lint::ForbidUnsafe => "forbid-unsafe",
+            Lint::MetricsName => "metrics-name",
+            Lint::MetricsManifest => "metrics-manifest",
+        }
+    }
+
+    /// One-line description for `rdx-lint list`.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::HashCollections => {
+                "forbid std HashMap/HashSet (SipHash nondeterminism) in hot crates"
+            }
+            Lint::WallClock => "forbid Instant::now/SystemTime outside rdx-bench/rdx-metrics",
+            Lint::EntropyRng => "forbid entropy-seeded RNGs outside rdx-bench/rdx-metrics",
+            Lint::NoPanic => "forbid unwrap/expect/panic!/unreachable!/todo! in hot-path modules",
+            Lint::Layering => "enforce the layered crate DAG (no cycles, no upward edges)",
+            Lint::ForbidUnsafe => "require #![forbid(unsafe_code)] in every crate root",
+            Lint::MetricsName => "counter names must match the rdx.<area>.<name> scheme",
+            Lint::MetricsManifest => "counters must be declared in COUNTERS.txt (both ways)",
+        }
+    }
+}
+
+/// One finding: a named lint, a location, and what to do about it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// File path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// Renders violations one per line (empty string when clean).
+#[must_use]
+pub fn render(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("{v}\n"))
+        .collect::<String>()
+}
+
+/// Lints the workspace rooted at `root` under `config`.
+///
+/// Returns violations sorted by (file, line, lint); an empty vector
+/// means the workspace satisfies every invariant.
+///
+/// # Errors
+///
+/// Propagates I/O failures walking the tree (a *missing* counter
+/// manifest is a violation, not an error).
+pub fn check_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Violation>> {
+    let crates = workspace::load(root)?;
+    let mut sink = Sink::default();
+
+    // The counter manifest, when configured: name set + entry lines.
+    let mut declared_entries: Vec<(String, u32)> = Vec::new();
+    let mut declared: Option<BTreeSet<String>> = None;
+    if let Some(rel) = &config.counters_manifest {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => {
+                for (idx, line) in src.lines().enumerate() {
+                    let entry = line.split('#').next().unwrap_or("").trim();
+                    if !entry.is_empty() {
+                        declared_entries.push((
+                            entry.to_string(),
+                            u32::try_from(idx + 1).unwrap_or(u32::MAX),
+                        ));
+                    }
+                }
+                declared = Some(declared_entries.iter().map(|(n, _)| n.clone()).collect());
+            }
+            Err(_) => sink.emit_path(
+                Path::new(rel),
+                Lint::MetricsManifest,
+                1,
+                "counter manifest is configured but missing".to_string(),
+            ),
+        }
+    }
+
+    let mut used_counters = BTreeSet::new();
+    for krate in &crates {
+        lints::determinism::check(krate, config, &mut sink);
+        lints::panics::check(krate, config, &mut sink);
+        lints::hygiene::check(
+            krate,
+            config,
+            declared.as_ref(),
+            &mut used_counters,
+            &mut sink,
+        );
+    }
+    lints::layering::check(&crates, config, &mut sink);
+    if declared.is_some() {
+        if let Some(rel) = &config.counters_manifest {
+            lints::hygiene::check_unused_counters(
+                Path::new(rel),
+                &declared_entries,
+                &used_counters,
+                &mut sink,
+            );
+        }
+    }
+    Ok(sink.finish())
+}

@@ -1,0 +1,125 @@
+//! Determinism lints: `hash-collections`, `wall-clock`, `entropy-rng`.
+//!
+//! RDX's accuracy and overhead claims are validated against golden
+//! digests of bit-identical profiles. Three things silently break that
+//! reproducibility:
+//!
+//! * `std::collections::HashMap`/`HashSet` — SipHash is seeded per
+//!   process, so iteration order (and capacity-driven accounting)
+//!   varies run to run. Hot crates must use the vendored
+//!   `rdx_groundtruth::FxHashMap` or an ordered `BTreeMap`.
+//! * Wall clocks — `Instant::now`/`SystemTime` fold timing into
+//!   results. Only the benchmark harness and the metrics collector
+//!   (whose timers are explicitly observational) may read them.
+//! * Entropy-seeded RNGs — `thread_rng`/`from_entropy`/`OsRng` draw
+//!   from the OS; every RNG in the measurement path must be seeded
+//!   from configuration.
+
+use super::{path2, Sink};
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::workspace::CrateSrc;
+use crate::Lint;
+
+/// Runs the determinism lints over one crate's sources.
+pub fn check(krate: &CrateSrc, config: &LintConfig, sink: &mut Sink) {
+    let hot = config.hot_crates.contains(&krate.name);
+    let clock_exempt = config.clock_exempt_crates.contains(&krate.name);
+    for file in &krate.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if hot && path2(toks, i, "std", "collections") {
+                check_std_collections(krate, file, i + 4, sink);
+            }
+            if !clock_exempt {
+                if path2(toks, i, "Instant", "now") {
+                    sink.emit_src(
+                        file,
+                        Lint::WallClock,
+                        toks[i].line,
+                        "`Instant::now()` outside the benchmark/metrics crates: wall-clock \
+                         reads make profiles irreproducible"
+                            .to_string(),
+                    );
+                }
+                if toks[i].is_ident("SystemTime") {
+                    sink.emit_src(
+                        file,
+                        Lint::WallClock,
+                        toks[i].line,
+                        "`SystemTime` outside the benchmark/metrics crates".to_string(),
+                    );
+                }
+                if toks[i].kind == TokKind::Ident
+                    && ["thread_rng", "from_entropy", "OsRng"].contains(&toks[i].text.as_str())
+                {
+                    sink.emit_src(
+                        file,
+                        Lint::EntropyRng,
+                        toks[i].line,
+                        format!(
+                            "`{}` draws OS entropy: RNGs on measurement paths must be \
+                             seeded from configuration",
+                            toks[i].text
+                        ),
+                    );
+                }
+                if path2(toks, i, "rand", "random") {
+                    sink.emit_src(
+                        file,
+                        Lint::EntropyRng,
+                        toks[i].line,
+                        "`rand::random` draws OS entropy".to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// At `toks[i]` sits whatever follows `std :: collections ::` … flag
+/// `HashMap`/`HashSet` directly, inside a brace group, or via glob.
+fn check_std_collections(
+    krate: &CrateSrc,
+    file: &crate::workspace::SourceFile,
+    i: usize,
+    sink: &mut Sink,
+) {
+    let toks = &file.tokens;
+    // `std::collections` not followed by `::` is just a module mention.
+    if !(toks.get(i).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':')))
+    {
+        return;
+    }
+    let flag = |sink: &mut Sink, line: u32, what: &str| {
+        sink.emit_src(
+            file,
+            Lint::HashCollections,
+            line,
+            format!(
+                "`std::collections::{what}` in hot crate `{}`: SipHash's random seed \
+                 breaks run-to-run determinism — use `rdx_groundtruth::FxHashMap` or \
+                 `BTreeMap`",
+                krate.name
+            ),
+        );
+    };
+    match toks.get(i + 2) {
+        Some(t) if t.is_ident("HashMap") || t.is_ident("HashSet") => {
+            flag(sink, t.line, &t.text);
+        }
+        Some(t) if t.is_punct('*') => flag(sink, t.line, "*"),
+        Some(t) if t.is_punct('{') => {
+            for u in &toks[i + 3..] {
+                if u.is_punct('}') {
+                    break;
+                }
+                if u.is_ident("HashMap") || u.is_ident("HashSet") {
+                    flag(sink, u.line, &u.text);
+                }
+            }
+        }
+        _ => {}
+    }
+}

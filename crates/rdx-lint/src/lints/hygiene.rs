@@ -1,0 +1,157 @@
+//! Hygiene lints: `forbid-unsafe`, `metrics-name`, `metrics-manifest`.
+//!
+//! * Every crate root must carry `#![forbid(unsafe_code)]` — the whole
+//!   workspace is a simulation + analysis stack with no business
+//!   touching raw memory, and `forbid` (unlike `deny`) cannot be
+//!   overridden further down.
+//! * Metrics counters are part of the observable API (the CLI
+//!   crosschecks them against profile fields), so their names must
+//!   follow the `rdx.<area>.<name>` scheme and be declared in the
+//!   checked-in manifest (`crates/rdx-metrics/COUNTERS.txt`); stale
+//!   manifest entries are flagged symmetrically.
+
+use super::Sink;
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::workspace::CrateSrc;
+use crate::Lint;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Per-crate hygiene checks; collects the counter names the crate
+/// creates into `used_counters` for the manifest symmetry check.
+pub fn check(
+    krate: &CrateSrc,
+    config: &LintConfig,
+    counters: Option<&BTreeSet<String>>,
+    used_counters: &mut BTreeSet<String>,
+    sink: &mut Sink,
+) {
+    check_forbid_unsafe(krate, sink);
+    if config.metrics_exempt_crates.contains(&krate.name) {
+        return;
+    }
+    for file in &krate.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !super::path2(toks, i, "rdx_metrics", "counter") {
+                continue;
+            }
+            let Some(name_tok) = toks
+                .get(i + 4)
+                .filter(|t| t.is_punct('('))
+                .and_then(|_| toks.get(i + 5))
+                .filter(|t| t.kind == TokKind::Str)
+            else {
+                continue;
+            };
+            let name = &name_tok.text;
+            if !valid_counter_name(name) {
+                sink.emit_src(
+                    file,
+                    Lint::MetricsName,
+                    name_tok.line,
+                    format!(
+                        "counter `{name}` does not match the `rdx.<area>.<name>` scheme \
+                         (lowercase `[a-z0-9_]` segments, at least three, `rdx.` first)"
+                    ),
+                );
+            }
+            used_counters.insert(name.clone());
+            if let Some(declared) = counters {
+                if !declared.contains(name) {
+                    sink.emit_src(
+                        file,
+                        Lint::MetricsManifest,
+                        name_tok.line,
+                        format!(
+                            "counter `{name}` is not declared in the counter manifest — \
+                             add it to crates/rdx-metrics/COUNTERS.txt"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Flags manifest entries that no crate creates (stale declarations).
+pub fn check_unused_counters(
+    manifest_path: &Path,
+    declared: &[(String, u32)],
+    used: &BTreeSet<String>,
+    sink: &mut Sink,
+) {
+    for (name, line) in declared {
+        if !used.contains(name) {
+            sink.emit_path(
+                manifest_path,
+                Lint::MetricsManifest,
+                *line,
+                format!("declared counter `{name}` is never created by any crate — remove it"),
+            );
+        }
+    }
+}
+
+fn check_forbid_unsafe(krate: &CrateSrc, sink: &mut Sink) {
+    let Some(root_idx) = krate.root_file else {
+        return; // no src/lib.rs or src/main.rs — nothing to anchor on
+    };
+    let file = &krate.files[root_idx];
+    let toks = &file.lexed.tokens; // inner attrs sit outside any item
+    let has = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !has {
+        sink.emit_src(
+            file,
+            Lint::ForbidUnsafe,
+            1,
+            format!(
+                "crate root of `{}` lacks `#![forbid(unsafe_code)]`",
+                krate.name
+            ),
+        );
+    }
+}
+
+/// `rdx.<area>.<name>`: at least three dot-separated segments, the
+/// first exactly `rdx`, the rest non-empty `[a-z0-9_]+`.
+#[must_use]
+pub fn valid_counter_name(name: &str) -> bool {
+    let mut segments = name.split('.');
+    if segments.next() != Some("rdx") {
+        return false;
+    }
+    let rest: Vec<&str> = segments.collect();
+    rest.len() >= 2
+        && rest.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::valid_counter_name;
+
+    #[test]
+    fn counter_name_scheme() {
+        assert!(valid_counter_name("rdx.profiler.samples"));
+        assert!(valid_counter_name("rdx.machine.fastpath.chunks"));
+        assert!(!valid_counter_name("rdx.profiler")); // too few segments
+        assert!(!valid_counter_name("profiler.samples.x")); // no rdx.
+        assert!(!valid_counter_name("rdx.Profiler.samples")); // case
+        assert!(!valid_counter_name("rdx..samples")); // empty segment
+        assert!(!valid_counter_name("rdx.pro filer.samples")); // space
+    }
+}

@@ -1,0 +1,133 @@
+//! The `layering` lint: the crate DAG must stay a layered DAG.
+//!
+//! Dependencies may only point downward (`rdx-cli`/`rdx-bench` at the
+//! top, `rdx-core` above the substrate crates, `memsim`/`rdx-trace`/
+//! `rdx-histogram` at the base, `rdx-metrics` below everything).
+//! Dev-dependencies may be lateral (same layer) but never upward, and
+//! the normal-dependency graph must be acyclic regardless of the layer
+//! map. Dependencies that are neither workspace crates nor allowlisted
+//! vendored externals are flagged too — the offline vendor policy is
+//! itself an invariant.
+
+use super::Sink;
+use crate::config::LintConfig;
+use crate::workspace::CrateSrc;
+use crate::Lint;
+use std::collections::BTreeMap;
+
+/// Runs the layering lint over the whole workspace.
+pub fn check(crates: &[CrateSrc], config: &LintConfig, sink: &mut Sink) {
+    let by_name: BTreeMap<&str, &CrateSrc> = crates.iter().map(|k| (k.name.as_str(), k)).collect();
+    let enforce_layers = !config.layers.is_empty();
+
+    for krate in crates {
+        let crate_layer = config.layer_of(&krate.name);
+        if enforce_layers && crate_layer.is_none() {
+            sink.emit_manifest(
+                krate,
+                Lint::Layering,
+                1,
+                format!(
+                    "crate `{}` is not in the layering map — assign it a layer in \
+                     `LintConfig::rdx_default`",
+                    krate.name
+                ),
+            );
+        }
+        for dep in &krate.manifest.deps {
+            if config.is_external(&dep.name) {
+                continue;
+            }
+            let dep_is_member = by_name.contains_key(dep.name.as_str());
+            if !dep_is_member {
+                sink.emit_manifest(
+                    krate,
+                    Lint::Layering,
+                    dep.line,
+                    format!(
+                        "`{}` is neither a workspace crate nor an allowlisted vendored \
+                         dependency (offline vendor policy)",
+                        dep.name
+                    ),
+                );
+                continue;
+            }
+            if let (true, Some(cl), Some(dl)) =
+                (enforce_layers, crate_layer, config.layer_of(&dep.name))
+            {
+                let upward = if dep.dev { dl > cl } else { dl >= cl };
+                if upward {
+                    sink.emit_manifest(
+                        krate,
+                        Lint::Layering,
+                        dep.line,
+                        format!(
+                            "{}dependency on `{}` (layer {dl}) violates layering: \
+                             `{}` sits on layer {cl} and may only depend {}",
+                            if dep.dev { "dev-" } else { "" },
+                            dep.name,
+                            krate.name,
+                            if dep.dev {
+                                "on its own layer or below"
+                            } else {
+                                "strictly below itself"
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycle detection over normal-dependency edges (dev-dependency
+    // cycles are legal in Cargo and excluded).
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0 new, 1 on stack, 2 done
+    for krate in crates {
+        let mut stack = Vec::new();
+        if let Some(cycle) = dfs(krate.name.as_str(), &by_name, &mut state, &mut stack) {
+            sink.emit_manifest(
+                by_name[cycle[0].as_str()],
+                Lint::Layering,
+                1,
+                format!("dependency cycle: {}", cycle.join(" -> ")),
+            );
+        }
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    by_name: &BTreeMap<&'a str, &'a CrateSrc>,
+    state: &mut BTreeMap<&'a str, u8>,
+    stack: &mut Vec<&'a str>,
+) -> Option<Vec<String>> {
+    match state.get(node) {
+        Some(1) => {
+            // Found a back edge: report the cycle path.
+            let from = stack.iter().position(|&n| n == node).unwrap_or(0);
+            let mut cycle: Vec<String> = stack[from..].iter().map(ToString::to_string).collect();
+            cycle.push(node.to_string());
+            return Some(cycle);
+        }
+        Some(_) => return None,
+        None => {}
+    }
+    state.insert(node, 1);
+    stack.push(node);
+    let result = by_name.get(node).and_then(|krate| {
+        krate
+            .manifest
+            .deps
+            .iter()
+            .filter(|d| !d.dev && by_name.contains_key(d.name.as_str()))
+            .find_map(|d| {
+                by_name
+                    .keys()
+                    .find(|&&k| k == d.name)
+                    .and_then(|&k| dfs(k, by_name, state, stack))
+            })
+    });
+    stack.pop();
+    state.insert(node, 2);
+    result
+}

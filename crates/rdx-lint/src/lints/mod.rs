@@ -1,0 +1,80 @@
+//! The lint passes and their shared plumbing.
+
+pub mod determinism;
+pub mod hygiene;
+pub mod layering;
+pub mod panics;
+
+use crate::lexer::Tok;
+use crate::workspace::{CrateSrc, SourceFile};
+use crate::{Lint, Violation};
+use std::path::Path;
+
+/// Collects violations, applying suppression directives at emit time.
+#[derive(Debug, Default)]
+pub struct Sink {
+    violations: Vec<Violation>,
+}
+
+impl Sink {
+    /// Finishes the run, returning violations in a deterministic order.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<Violation> {
+        self.violations.sort_by(|a, b| {
+            (&a.file, a.line, a.lint.name(), &a.message).cmp(&(
+                &b.file,
+                b.line,
+                b.lint.name(),
+                &b.message,
+            ))
+        });
+        self.violations
+    }
+
+    /// Reports a violation in a source file unless an
+    /// `// rdx-lint-allow:` directive covers it.
+    pub fn emit_src(&mut self, file: &SourceFile, lint: Lint, line: u32, message: String) {
+        if file.lexed.is_allowed(lint.name(), line) {
+            return;
+        }
+        self.violations.push(Violation {
+            lint,
+            file: file.rel_path.clone(),
+            line,
+            message,
+        });
+    }
+
+    /// Reports a violation in a crate manifest unless a
+    /// `# rdx-lint-allow:` directive covers it.
+    pub fn emit_manifest(&mut self, krate: &CrateSrc, lint: Lint, line: u32, message: String) {
+        if krate.manifest.is_allowed(lint.name(), line) {
+            return;
+        }
+        self.violations.push(Violation {
+            lint,
+            file: krate.manifest_rel_path.clone(),
+            line,
+            message,
+        });
+    }
+
+    /// Reports a violation at an arbitrary path (no suppression).
+    pub fn emit_path(&mut self, path: &Path, lint: Lint, line: u32, message: String) {
+        self.violations.push(Violation {
+            lint,
+            file: path.to_path_buf(),
+            line,
+            message,
+        });
+    }
+}
+
+/// True when `tokens[i..]` starts with the path segment `a :: b`.
+#[must_use]
+pub fn path2(tokens: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident(a))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+}

@@ -1,0 +1,65 @@
+//! The `no-panic` lint: hot-path modules must not unwind.
+//!
+//! The profiler's sample/trap handlers model code that runs inside
+//! signal handlers on real hardware; the machine loop and trace
+//! decoders sit under every experiment. A panic there either aborts a
+//! long measurement or — worse, under `profile_batch`'s
+//! `catch_unwind` — turns one bad access into a poisoned batch.
+//! Recoverable conditions must use typed errors (`TraceError`,
+//! `ArmError`); genuinely unreachable states carry an
+//! `// rdx-lint-allow: no-panic — <why>` justification.
+
+use super::Sink;
+use crate::config::LintConfig;
+use crate::workspace::CrateSrc;
+use crate::Lint;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the `no-panic` lint over one crate's hot-path files.
+pub fn check(krate: &CrateSrc, config: &LintConfig, sink: &mut Sink) {
+    for file in &krate.files {
+        let is_hot = config
+            .hot_path_files
+            .iter()
+            .any(|(c, f)| *c == krate.name && *f == file.file_name);
+        if !is_hot {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let t = &toks[i + 1];
+                sink.emit_src(
+                    file,
+                    Lint::NoPanic,
+                    t.line,
+                    format!(
+                        "`.{}()` in hot-path module `{}`: convert to a typed error or \
+                         justify with `// rdx-lint-allow: no-panic — <why>`",
+                        t.text, file.file_name
+                    ),
+                );
+            }
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && PANIC_MACROS.contains(&toks[i].text.as_str())
+                && toks[i].kind == crate::lexer::TokKind::Ident
+            {
+                sink.emit_src(
+                    file,
+                    Lint::NoPanic,
+                    toks[i].line,
+                    format!(
+                        "`{}!` in hot-path module `{}`",
+                        toks[i].text, file.file_name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The `rdx-lint` binary: `check` the workspace, `list` the catalog.
+//!
+//! ```text
+//! rdx-lint check [--root PATH] [--no-default-config]
+//!                [--hot-crate NAME]... [--clock-exempt NAME]...
+//!                [--metrics-exempt NAME]... [--hot-path CRATE/FILE]...
+//!                [--layer NAME=N]... [--external NAME]...
+//!                [--counters-manifest PATH]
+//! rdx-lint list
+//! ```
+//!
+//! With no overrides, `check` runs the RDX workspace configuration
+//! (`LintConfig::rdx_default`) against the current directory. The
+//! override flags exist for the fixture tests and for linting
+//! out-of-tree workspaces; `--no-default-config` starts from an empty
+//! configuration instead of the RDX one.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use rdx_lint::{check_workspace, Lint, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rdx-lint check [--root PATH] [--no-default-config]\n\
+         \u{20}                     [--hot-crate NAME]... [--clock-exempt NAME]...\n\
+         \u{20}                     [--metrics-exempt NAME]... [--hot-path CRATE/FILE]...\n\
+         \u{20}                     [--layer NAME=N]... [--external NAME]...\n\
+         \u{20}                     [--counters-manifest PATH]\n\
+         \u{20}      rdx-lint list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for lint in Lint::ALL {
+                println!("{:<18} {}", lint.name(), lint.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config = LintConfig::rdx_default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        // Flags that take no value first.
+        if flag == "--no-default-config" {
+            config = LintConfig::default();
+            continue;
+        }
+        let Some(value) = iter.next() else {
+            eprintln!("rdx-lint: missing value for `{flag}`");
+            return usage();
+        };
+        match flag.as_str() {
+            "--root" => root = PathBuf::from(value),
+            "--hot-crate" => config.hot_crates.push(value.clone()),
+            "--clock-exempt" => config.clock_exempt_crates.push(value.clone()),
+            "--metrics-exempt" => config.metrics_exempt_crates.push(value.clone()),
+            "--external" => config.external_deps.push(value.clone()),
+            "--counters-manifest" => config.counters_manifest = Some(value.clone()),
+            "--hot-path" => {
+                let Some((krate, file)) = value.split_once('/') else {
+                    eprintln!("rdx-lint: `--hot-path` wants CRATE/FILE, got `{value}`");
+                    return usage();
+                };
+                config
+                    .hot_path_files
+                    .push((krate.to_string(), file.to_string()));
+            }
+            "--layer" => {
+                let parsed = value
+                    .split_once('=')
+                    .and_then(|(name, l)| l.parse().ok().map(|l| (name.to_string(), l)));
+                let Some(pair) = parsed else {
+                    eprintln!("rdx-lint: `--layer` wants NAME=N, got `{value}`");
+                    return usage();
+                };
+                config.layers.push(pair);
+            }
+            _ => {
+                eprintln!("rdx-lint: unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+
+    match check_workspace(&root, &config) {
+        Ok(violations) if violations.is_empty() => {
+            println!("rdx-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            print!("{}", rdx_lint::render(&violations));
+            println!(
+                "rdx-lint: {} violation(s) — fix, or suppress with \
+                 `// rdx-lint-allow: <lint> — <why>`",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("rdx-lint: {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! A minimal `Cargo.toml` reader for layering checks.
+//!
+//! This is not a TOML implementation — it reads exactly the manifest
+//! subset the workspace uses (and that the layering lint needs): the
+//! `[package]` name, and the dependency *names* declared under
+//! `[dependencies]` / `[dev-dependencies]`, in any of the three forms
+//! Cargo accepts (`foo = "1"` / `foo = { path = ".." }` /
+//! `foo.workspace = true`, plus `[dependencies.foo]` tables).
+//!
+//! `# rdx-lint-allow: <lint>` comments work in manifests the same way
+//! `//` directives work in Rust sources: on the flagged line or the
+//! line above.
+
+use crate::lexer::parse_allow_directive;
+use std::collections::HashMap;
+
+/// One declared dependency and where it was declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// The dependency's crate name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// True when declared under `[dev-dependencies]`.
+    pub dev: bool,
+}
+
+/// The parsed subset of one crate manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// `package.name`, if present.
+    pub name: Option<String>,
+    /// All dependencies (normal and dev), in declaration order.
+    pub deps: Vec<Dep>,
+    /// Line → lint names allowed (from `# rdx-lint-allow:` comments).
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+impl Manifest {
+    /// True when `lint` is suppressed at `line` (same line or above).
+    #[must_use]
+    pub fn is_allowed(&self, lint: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|names| names.iter().any(|n| n == lint))
+        })
+    }
+}
+
+/// Parses manifest source. Unknown sections are skipped wholesale.
+#[must_use]
+pub fn parse(src: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps { dev: bool },
+        Other,
+    }
+    let mut m = Manifest::default();
+    let mut section = Section::Other;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let (code, comment) = split_comment(raw);
+        if let Some(names) = comment.and_then(parse_allow_directive) {
+            m.allows.entry(line_no).or_default().extend(names);
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        if code.starts_with('[') {
+            let inner = code.trim_matches(|c| c == '[' || c == ']');
+            section = match inner {
+                "package" => Section::Package,
+                "dependencies" => Section::Deps { dev: false },
+                "dev-dependencies" => Section::Deps { dev: true },
+                _ => {
+                    // `[dependencies.foo]` / `[dev-dependencies.foo]`
+                    // table form declares dependency `foo`.
+                    for (prefix, dev) in [("dependencies.", false), ("dev-dependencies.", true)] {
+                        if let Some(name) = inner.strip_prefix(prefix) {
+                            m.deps.push(Dep {
+                                name: name.trim_matches('"').to_string(),
+                                line: line_no,
+                                dev,
+                            });
+                        }
+                    }
+                    Section::Other
+                }
+            };
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = code.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(value) = rest.strip_prefix('=') {
+                        m.name = Some(value.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+            Section::Deps { dev } => {
+                if let Some((key, _)) = code.split_once('=') {
+                    // `foo.workspace = true` declares `foo`.
+                    let name = key.trim().split('.').next().unwrap_or("").trim_matches('"');
+                    if !name.is_empty() {
+                        m.deps.push(Dep {
+                            name: name.to_string(),
+                            line: line_no,
+                            dev,
+                        });
+                    }
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    m
+}
+
+/// Splits a manifest line at its `#` comment (none of the workspace
+/// manifests put `#` inside a string value; a linter-grade reader may
+/// assume that).
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    match line.find('#') {
+        Some(i) => (&line[..i], Some(&line[i..])),
+        None => (line, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_dep_forms() {
+        let m = parse(
+            "[package]\nname = \"demo\"\nversion = \"0.1\"\n\n\
+             [dependencies]\nplain = \"1\"\ninline = { path = \"../x\" }\n\
+             ws.workspace = true\n\n[dependencies.table]\npath = \"../t\"\n\n\
+             [dev-dependencies]\ntesty = \"2\"\n",
+        );
+        assert_eq!(m.name.as_deref(), Some("demo"));
+        let names: Vec<(&str, bool)> = m.deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            [
+                ("plain", false),
+                ("inline", false),
+                ("ws", false),
+                ("table", false),
+                ("testy", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn features_are_not_dependencies() {
+        let m = parse(
+            "[features]\nmetrics = [\"rdx-metrics/enabled\"]\n[dependencies]\nreal = \"1\"\n",
+        );
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].name, "real");
+    }
+
+    #[test]
+    fn allow_comments_in_manifests() {
+        let m = parse(
+            "[dependencies]\nup = { path = \"../up\" } # rdx-lint-allow: layering — transitional\n",
+        );
+        assert_eq!(m.deps[0].line, 2);
+        assert!(m.is_allowed("layering", 2));
+        assert!(!m.is_allowed("layering", 1));
+    }
+}

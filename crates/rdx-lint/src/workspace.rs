@@ -1,0 +1,118 @@
+//! Workspace discovery: crates, manifests, and lexed sources.
+
+use crate::lexer::{lex, strip_cfg_test, LexedFile, Tok};
+use crate::manifest::{self, Manifest};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file, lexed and test-stripped.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (for reporting).
+    pub rel_path: PathBuf,
+    /// File name only (`machine.rs`), for hot-path matching.
+    pub file_name: String,
+    /// Lexed tokens and suppression directives for the whole file.
+    pub lexed: LexedFile,
+    /// Tokens with `#[cfg(test)]` items removed — what lints scan.
+    pub tokens: Vec<Tok>,
+}
+
+/// One workspace member under `crates/`.
+#[derive(Debug)]
+pub struct CrateSrc {
+    /// The crate's package name (falls back to its directory name).
+    pub name: String,
+    /// `Cargo.toml` path relative to the workspace root.
+    pub manifest_rel_path: PathBuf,
+    /// Parsed manifest subset.
+    pub manifest: Manifest,
+    /// All sources under `src/`, recursively, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Index into `files` of the crate root (`src/lib.rs`, else
+    /// `src/main.rs`), if present.
+    pub root_file: Option<usize>,
+}
+
+/// Loads every crate under `<root>/crates/*` that has a `Cargo.toml`.
+///
+/// Crates and files are sorted by name so diagnostics are independent
+/// of directory-iteration order.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree.
+pub fn load(root: &Path) -> io::Result<Vec<CrateSrc>> {
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    dirs.sort();
+    dirs.iter().map(|dir| load_crate(root, dir)).collect()
+}
+
+fn load_crate(root: &Path, dir: &Path) -> io::Result<CrateSrc> {
+    let manifest_path = dir.join("Cargo.toml");
+    let manifest = manifest::parse(&std::fs::read_to_string(&manifest_path)?);
+    let name = manifest.name.clone().unwrap_or_else(|| {
+        dir.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    });
+
+    let mut rs_paths = Vec::new();
+    collect_rs(&dir.join("src"), &mut rs_paths)?;
+    rs_paths.sort();
+
+    let mut files = Vec::with_capacity(rs_paths.len());
+    for path in &rs_paths {
+        let lexed = lex(&std::fs::read_to_string(path)?);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        files.push(SourceFile {
+            rel_path: rel(root, path),
+            file_name: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            lexed,
+            tokens,
+        });
+    }
+
+    let root_file = ["lib.rs", "main.rs"].iter().find_map(|want| {
+        files.iter().position(|f| {
+            f.file_name == *want
+                && f.rel_path.parent().and_then(Path::file_name)
+                    == Some(std::ffi::OsStr::new("src"))
+        })
+    });
+
+    Ok(CrateSrc {
+        name,
+        manifest_rel_path: rel(root, &manifest_path),
+        manifest,
+        files,
+        root_file,
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}

@@ -1,0 +1,177 @@
+//! Fixture suite: four mini-workspaces under `tests/fixtures/` exercise
+//! every lint both ways (one violating pattern per lint, and the same
+//! patterns individually suppressed), plus the layering cycle detector.
+//! Each fixture is checked twice — through the library API (so
+//! individual violations can be asserted) and through the built binary
+//! (so the documented exit codes are pinned).
+
+use rdx_lint::{check_workspace, Lint, LintConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The configuration shared by the `clean`/`dirty`/`suppressed`
+/// fixtures: `alpha` (layer 1) is hot with hot-path file `hot.rs`,
+/// `beta` is the base layer, counters live in `counters.txt`.
+fn alpha_config() -> LintConfig {
+    LintConfig {
+        hot_crates: vec!["alpha".into()],
+        hot_path_files: vec![("alpha".into(), "hot.rs".into())],
+        layers: vec![("alpha".into(), 1), ("beta".into(), 0)],
+        counters_manifest: Some("counters.txt".into()),
+        ..LintConfig::default()
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let violations = check_workspace(&fixture("clean"), &alpha_config()).unwrap();
+    assert!(
+        violations.is_empty(),
+        "clean fixture flagged:\n{}",
+        rdx_lint::render(&violations)
+    );
+}
+
+#[test]
+fn dirty_fixture_trips_every_lint() {
+    let violations = check_workspace(&fixture("dirty"), &alpha_config()).unwrap();
+    let tripped: BTreeSet<Lint> = violations.iter().map(|v| v.lint).collect();
+    let all: BTreeSet<Lint> = Lint::ALL.into_iter().collect();
+    assert_eq!(
+        tripped,
+        all,
+        "dirty fixture must trip every lint; got:\n{}",
+        rdx_lint::render(&violations)
+    );
+    // One pattern per lint, except layering (upward edge + unknown dep)
+    // and metrics-manifest (undeclared counter + stale entry) which
+    // carry two each.
+    assert_eq!(violations.len(), 10, "{}", rdx_lint::render(&violations));
+}
+
+#[test]
+fn dirty_fixture_flags_the_expected_sites() {
+    let violations = check_workspace(&fixture("dirty"), &alpha_config()).unwrap();
+    let has = |lint: Lint, path_part: &str| {
+        violations
+            .iter()
+            .any(|v| v.lint == lint && v.file.to_string_lossy().contains(path_part))
+    };
+    assert!(has(Lint::HashCollections, "alpha/src/lib.rs"));
+    assert!(has(Lint::WallClock, "alpha/src/lib.rs"));
+    assert!(has(Lint::EntropyRng, "alpha/src/lib.rs"));
+    assert!(has(Lint::NoPanic, "alpha/src/hot.rs"));
+    assert!(has(Lint::ForbidUnsafe, "alpha/src/lib.rs"));
+    assert!(has(Lint::MetricsName, "alpha/src/lib.rs"));
+    assert!(has(Lint::MetricsManifest, "alpha/src/lib.rs")); // undeclared
+    assert!(has(Lint::MetricsManifest, "counters.txt")); // stale entry
+    assert!(has(Lint::Layering, "alpha/Cargo.toml")); // unknown dep
+    assert!(has(Lint::Layering, "beta/Cargo.toml")); // upward edge
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let violations = check_workspace(&fixture("suppressed"), &alpha_config()).unwrap();
+    assert!(
+        violations.is_empty(),
+        "every violation carries an allow directive, yet:\n{}",
+        rdx_lint::render(&violations)
+    );
+}
+
+#[test]
+fn cycle_fixture_reports_the_cycle() {
+    // No layer map: the cycle check runs regardless of layering config.
+    let violations = check_workspace(&fixture("cycle"), &LintConfig::default()).unwrap();
+    assert_eq!(violations.len(), 1, "{}", rdx_lint::render(&violations));
+    assert_eq!(violations[0].lint, Lint::Layering);
+    assert!(
+        violations[0].message.contains("dependency cycle"),
+        "unexpected message: {}",
+        violations[0].message
+    );
+}
+
+// ---- binary exit codes ----------------------------------------------
+
+/// Runs the built `rdx-lint` binary on a fixture with the
+/// `alpha_config` equivalent expressed as command-line overrides.
+fn run_binary(fixture_name: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rdx-lint"))
+        .args([
+            "check",
+            "--no-default-config",
+            "--root",
+            fixture(fixture_name).to_str().expect("utf-8 path"),
+            "--hot-crate",
+            "alpha",
+            "--hot-path",
+            "alpha/hot.rs",
+            "--layer",
+            "alpha=1",
+            "--layer",
+            "beta=0",
+            "--counters-manifest",
+            "counters.txt",
+        ])
+        .output()
+        .expect("spawn rdx-lint")
+}
+
+#[test]
+fn binary_exits_zero_on_clean_and_suppressed() {
+    for name in ["clean", "suppressed"] {
+        let out = run_binary(name);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "fixture `{name}`:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_one_on_violations() {
+    let out = run_binary("dirty");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for lint in Lint::ALL {
+        assert!(
+            stdout.contains(&format!("[{}]", lint.name())),
+            "missing [{}] in:\n{stdout}",
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn binary_exits_one_on_cycle() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rdx-lint"))
+        .args([
+            "check",
+            "--no-default-config",
+            "--root",
+            fixture("cycle").to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("spawn rdx-lint");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dependency cycle"));
+}
+
+#[test]
+fn binary_exits_two_on_missing_root() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rdx-lint"))
+        .args(["check", "--root", "/nonexistent/rdx-lint-fixture"])
+        .output()
+        .expect("spawn rdx-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,6 @@
+//! Hot-path module: must stay panic-free.
+
+/// Returns the first element without panicking.
+pub fn first(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}

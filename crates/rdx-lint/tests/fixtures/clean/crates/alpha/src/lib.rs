@@ -1,0 +1,31 @@
+//! Clean fixture crate: satisfies every lint.
+
+#![forbid(unsafe_code)]
+
+mod hot;
+
+use std::collections::BTreeMap;
+
+/// Deterministic map use: `BTreeMap` is always fine in hot crates.
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+        rdx_metrics::counter("rdx.alpha.events").incr();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt everywhere: none of these may fire.
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,8 @@
+//! Half of a dependency cycle.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to see here.
+pub fn a(x: u64) -> u64 {
+    x
+}

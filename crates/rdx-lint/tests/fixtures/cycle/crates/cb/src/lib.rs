@@ -1,0 +1,8 @@
+//! The other half of a dependency cycle.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to see here.
+pub fn b(x: u64) -> u64 {
+    x
+}

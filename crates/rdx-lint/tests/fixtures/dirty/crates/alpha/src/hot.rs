@@ -1,0 +1,5 @@
+//! Hot-path module with a forbidden panic site.
+
+pub fn first(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,27 @@
+//! Dirty fixture crate: trips every source-level lint.
+//! (Deliberately no `#![forbid(unsafe_code)]` — that is one of them.)
+
+mod hot;
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn nondeterministic(values: &[u64]) -> usize {
+    let mut m = HashMap::new();
+    for &v in values {
+        m.insert(v, ());
+    }
+    m.len()
+}
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn badly_named_counter() {
+    rdx_metrics::counter("Bad Name").incr();
+}

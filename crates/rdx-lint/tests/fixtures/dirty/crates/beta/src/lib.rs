@@ -1,0 +1,8 @@
+//! Base-layer fixture crate — clean on its own; only its manifest sins.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to see here.
+pub fn id(x: u64) -> u64 {
+    x
+}

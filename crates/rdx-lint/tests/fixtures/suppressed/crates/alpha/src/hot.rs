@@ -1,0 +1,6 @@
+//! Hot-path module with an allowed panic site.
+
+pub fn first(values: &[u64]) -> u64 {
+    // rdx-lint-allow: no-panic — fixture: callers guarantee non-empty
+    *values.first().unwrap()
+}

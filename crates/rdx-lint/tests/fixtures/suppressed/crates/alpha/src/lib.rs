@@ -1,0 +1,28 @@
+// rdx-lint-allow: forbid-unsafe — fixture: suppression must silence the root-attr check
+//! Suppressed fixture crate: the dirty patterns, each individually allowed.
+
+mod hot;
+
+use std::collections::HashMap; // rdx-lint-allow: hash-collections — fixture
+use std::time::Instant;
+
+pub fn nondeterministic(values: &[u64]) -> usize {
+    let mut m = HashMap::new();
+    for &v in values {
+        m.insert(v, ());
+    }
+    m.len()
+}
+
+pub fn wall_clock() -> Instant {
+    Instant::now() // rdx-lint-allow: wall-clock — fixture
+}
+
+pub fn entropy() -> u64 {
+    thread_rng().next_u64() // rdx-lint-allow: entropy-rng — fixture
+}
+
+pub fn badly_named_counter() {
+    // rdx-lint-allow: metrics-name, metrics-manifest — fixture
+    rdx_metrics::counter("Bad Name").incr();
+}

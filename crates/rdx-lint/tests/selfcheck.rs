@@ -1,0 +1,21 @@
+//! Self-check: the live RDX workspace must satisfy every invariant
+//! under the default configuration — the same check CI runs via
+//! `cargo run -p rdx-lint -- check`. If this fails, either fix the
+//! flagged code or add a justified `rdx-lint-allow` directive.
+
+use rdx_lint::{check_workspace, LintConfig};
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let violations = check_workspace(&root, &LintConfig::rdx_default()).unwrap();
+    assert!(
+        violations.is_empty(),
+        "the workspace violates its own invariants:\n{}",
+        rdx_lint::render(&violations)
+    );
+}
