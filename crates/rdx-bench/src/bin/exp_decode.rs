@@ -1,0 +1,286 @@
+//! Ingestion contrast: per-access varint decode vs bulk chunk decode vs
+//! pipelined decode-ahead, measured two ways.
+//!
+//! **Decode-only.** Every registry workload is serialized to RDXT bytes
+//! once; the whole set is then drained three ways without profiling —
+//! the scalar `try_next` loop, `decode_chunk` into a reusable buffer,
+//! and a `PipelinedReader` consumed through the chunk API — giving the
+//! raw decoder throughput each ingestion path can feed the machine.
+//!
+//! **End-to-end.** Each serialized workload is profiled at the paper's
+//! 64 Ki operating point three ways: the pre-chunk-decoder baseline
+//! (`Opaque`-wrapped reader, so the machine single-steps and the reader
+//! decodes one varint per access — exactly what `rdx profile <file>` did
+//! before bulk ingestion), the bulk chunk decoder, and the pipelined
+//! decode-ahead reader. All three profiles are asserted bit-identical;
+//! the speedups are the whole point of the ingestion pipeline.
+//!
+//! Results land in the `"decode"` section of `BENCH_rdx.json` (path
+//! override `RDX_BENCH_OUT`; other sections, e.g. `exp_throughput`'s
+//! `"throughput"`, are preserved). `RDX_ACCESSES` scales the run;
+//! `RDX_REPS` (default 3) controls the best-of-N timing.
+
+use rdx_bench::{
+    experiment_params, geo_mean, paper_config, print_table, reps, time_min, update_bench_json,
+};
+use rdx_core::{IngestOptions, RdxProfile, RdxRunner, RdxtInput};
+use rdx_trace::{
+    io, AccessStream, Chunk, Opaque, PipelineOptions, PipelinedReader, Trace, TraceReader,
+    DEFAULT_CHUNK_CAPACITY,
+};
+use rdx_workloads::suite;
+use std::fmt::Write as _;
+
+struct Row {
+    name: &'static str,
+    baseline_aps: f64,
+    bulk_aps: f64,
+    pipelined_aps: f64,
+}
+
+impl Row {
+    fn bulk_speedup(&self) -> f64 {
+        self.bulk_aps / self.baseline_aps
+    }
+
+    fn pipelined_speedup(&self) -> f64 {
+        self.pipelined_aps / self.baseline_aps
+    }
+}
+
+fn assert_identical(name: &str, what: &str, a: &RdxProfile, b: &RdxProfile) {
+    assert_eq!(a.rd, b.rd, "{name}: rd histogram diverged ({what})");
+    assert_eq!(a.rt, b.rt, "{name}: rt histogram diverged ({what})");
+    assert_eq!(
+        a.samples, b.samples,
+        "{name}: sample count diverged ({what})"
+    );
+    assert_eq!(a.traps, b.traps, "{name}: trap count diverged ({what})");
+    assert_eq!(
+        a.m_estimate.to_bits(),
+        b.m_estimate.to_bits(),
+        "{name}: m_estimate diverged ({what})"
+    );
+}
+
+fn main() {
+    let params = experiment_params();
+    let config = paper_config();
+    let period = config.machine.sampling.period;
+    let reps = reps();
+    println!(
+        "Ingestion: per-access decode vs bulk chunks vs pipelined decode-ahead \
+         ({} accesses/workload, period {period}, best of {reps})\n",
+        params.accesses
+    );
+
+    // Serialize every registry workload once; the timed loops below
+    // share these buffers (`Bytes` clones are refcounted, not copies).
+    let blobs: Vec<_> = suite()
+        .iter()
+        .map(|w| {
+            let trace = Trace::from_stream(w.name, w.stream(&params));
+            (w.name, trace.len() as u64, io::to_bytes(&trace))
+        })
+        .collect();
+    let total: u64 = blobs.iter().map(|&(_, n, _)| n).sum();
+
+    // Decode-only throughput over the whole serialized suite.
+    let (scalar_s, scalar_n) = time_min(reps, || {
+        let mut n = 0u64;
+        for (_, _, raw) in &blobs {
+            let mut r = TraceReader::new(raw.clone()).expect("valid trace bytes");
+            while r.next_access().is_some() {
+                n += 1;
+            }
+        }
+        n
+    });
+    let (bulk_s, bulk_n) = time_min(reps, || {
+        let mut n = 0u64;
+        let mut chunk = Chunk::default();
+        for (name, _, raw) in &blobs {
+            let mut r = TraceReader::new(raw.clone()).expect("valid trace bytes");
+            loop {
+                match r.decode_chunk(&mut chunk, DEFAULT_CHUNK_CAPACITY) {
+                    Ok(0) => break,
+                    Ok(k) => n += k as u64,
+                    Err(e) => panic!("{name}: clean trace failed to decode: {e}"),
+                }
+            }
+        }
+        n
+    });
+    let (pipe_s, pipe_n) = time_min(reps, || {
+        let mut n = 0u64;
+        for (name, _, raw) in &blobs {
+            let r = TraceReader::new(raw.clone()).expect("valid trace bytes");
+            let mut p = PipelinedReader::with_options(r, PipelineOptions::default());
+            while let Some(c) = p.next_chunk() {
+                let len = c.len();
+                n += len as u64;
+                p.consume_chunk(len);
+            }
+            p.finish()
+                .unwrap_or_else(|e| panic!("{name}: clean trace failed to decode: {e}"));
+        }
+        n
+    });
+    assert_eq!(scalar_n, total, "scalar drain lost records");
+    assert_eq!(bulk_n, total, "bulk drain lost records");
+    assert_eq!(pipe_n, total, "pipelined drain lost records");
+    let (scalar_aps, bulk_only_aps, pipe_only_aps) = (
+        total as f64 / scalar_s,
+        total as f64 / bulk_s,
+        total as f64 / pipe_s,
+    );
+    println!("decode-only ({total} accesses over the serialized suite):");
+    print_table(
+        &["path", "acc/s", "speedup"],
+        &[
+            vec![
+                "per-access".into(),
+                format!("{scalar_aps:.3e}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "bulk chunks".into(),
+                format!("{bulk_only_aps:.3e}"),
+                format!("{:.2}x", bulk_only_aps / scalar_aps),
+            ],
+            vec![
+                "pipelined".into(),
+                format!("{pipe_only_aps:.3e}"),
+                format!("{:.2}x", pipe_only_aps / scalar_aps),
+            ],
+        ],
+    );
+
+    // End-to-end file-backed profiling at the paper operating point.
+    let runner = RdxRunner::new(config);
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, n, raw) in &blobs {
+        let n = *n as f64;
+        let (base_s, baseline) = time_min(reps, || {
+            let r = TraceReader::new(raw.clone()).expect("valid trace bytes");
+            runner.profile(Opaque::new(r))
+        });
+        let (bulk_s, bulk) = time_min(reps, || {
+            let input = RdxtInput::from_bytes(*name, raw.clone()).expect("valid trace bytes");
+            let (p, verdict) =
+                runner.profile_rdxt(input, &IngestOptions::default().with_pipelined(false));
+            assert!(verdict.is_ok(), "{name}: clean decode expected");
+            p
+        });
+        let (pipe_s, pipelined) = time_min(reps, || {
+            let input = RdxtInput::from_bytes(*name, raw.clone()).expect("valid trace bytes");
+            let (p, verdict) = runner.profile_rdxt(input, &IngestOptions::default());
+            assert!(verdict.is_ok(), "{name}: clean decode expected");
+            p
+        });
+        assert_identical(name, "bulk vs baseline", &bulk, &baseline);
+        assert_identical(name, "pipelined vs baseline", &pipelined, &baseline);
+        rows.push(Row {
+            name,
+            baseline_aps: n / base_s,
+            bulk_aps: n / bulk_s,
+            pipelined_aps: n / pipe_s,
+        });
+    }
+
+    println!("\nend-to-end file-backed profiling (period {period}):");
+    print_table(
+        &[
+            "workload",
+            "baseline acc/s",
+            "bulk acc/s",
+            "pipelined acc/s",
+            "bulk speedup",
+            "pipelined speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.3e}", r.baseline_aps),
+                    format!("{:.3e}", r.bulk_aps),
+                    format!("{:.3e}", r.pipelined_aps),
+                    format!("{:.2}x", r.bulk_speedup()),
+                    format!("{:.2}x", r.pipelined_speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let bulk_speedups: Vec<f64> = rows.iter().map(Row::bulk_speedup).collect();
+    let pipe_speedups: Vec<f64> = rows.iter().map(Row::pipelined_speedup).collect();
+    let (geo_bulk, geo_pipe) = (geo_mean(&bulk_speedups), geo_mean(&pipe_speedups));
+    let max_pipe = pipe_speedups.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "\ngeo-mean end-to-end speedup: bulk {geo_bulk:.2}x, pipelined {geo_pipe:.2}x \
+         (max {max_pipe:.2}x; profiles verified bit-identical)"
+    );
+
+    let out = update_bench_json(
+        "decode",
+        &render_section(
+            &rows,
+            total,
+            period,
+            (scalar_aps, bulk_only_aps, pipe_only_aps),
+            (geo_bulk, geo_pipe, max_pipe),
+        ),
+    )
+    .unwrap_or_else(|e| panic!("writing benchmark results: {e}"));
+    println!("wrote {out} (section \"decode\")");
+}
+
+/// Hand-rolled JSON for the `"decode"` section (no JSON crate in the
+/// workspace); every value is a finite number or a registry identifier.
+fn render_section(
+    rows: &[Row],
+    total: u64,
+    period: u64,
+    (scalar_aps, bulk_aps, pipe_aps): (f64, f64, f64),
+    (geo_bulk, geo_pipe, max_pipe): (f64, f64, f64),
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "    \"accesses\": {total},");
+    let _ = writeln!(s, "    \"period\": {period},");
+    let _ = writeln!(s, "    \"decode_only\": {{");
+    let _ = writeln!(s, "      \"scalar_accesses_per_sec\": {scalar_aps:.1},");
+    let _ = writeln!(s, "      \"bulk_accesses_per_sec\": {bulk_aps:.1},");
+    let _ = writeln!(s, "      \"pipelined_accesses_per_sec\": {pipe_aps:.1},");
+    let _ = writeln!(s, "      \"bulk_speedup\": {:.3},", bulk_aps / scalar_aps);
+    let _ = writeln!(
+        s,
+        "      \"pipelined_speedup\": {:.3}",
+        pipe_aps / scalar_aps
+    );
+    let _ = writeln!(s, "    }},");
+    let _ = writeln!(s, "    \"end_to_end\": {{");
+    let _ = writeln!(s, "      \"geo_mean_bulk_speedup\": {geo_bulk:.3},");
+    let _ = writeln!(s, "      \"geo_mean_pipelined_speedup\": {geo_pipe:.3},");
+    let _ = writeln!(s, "      \"max_pipelined_speedup\": {max_pipe:.3},");
+    let _ = writeln!(s, "      \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "        {{\"name\": \"{}\", \"baseline_accesses_per_sec\": {:.1}, \
+             \"bulk_accesses_per_sec\": {:.1}, \"pipelined_accesses_per_sec\": {:.1}, \
+             \"bulk_speedup\": {:.3}, \"pipelined_speedup\": {:.3}}}{comma}",
+            r.name,
+            r.baseline_aps,
+            r.bulk_aps,
+            r.pipelined_aps,
+            r.bulk_speedup(),
+            r.pipelined_speedup()
+        );
+    }
+    let _ = writeln!(s, "      ]");
+    let _ = writeln!(s, "    }}");
+    let _ = write!(s, "  }}");
+    s
+}

@@ -8,17 +8,17 @@
 //! (asserted here; the binary fails loudly on divergence), so the only
 //! difference is accesses per second.
 //!
-//! Besides the table, results are written to `BENCH_rdx.json` (path
-//! override: `RDX_BENCH_OUT`) for CI artifact upload. `RDX_ACCESSES`
-//! scales the run; `RDX_REPS` (default 3) controls how many timed
-//! repetitions the minimum is taken over.
+//! Besides the table, results land in the `"throughput"` section of
+//! `BENCH_rdx.json` (path override: `RDX_BENCH_OUT`; other sections,
+//! e.g. `exp_decode`'s `"decode"`, are preserved) for CI artifact
+//! upload. `RDX_ACCESSES` scales the run; `RDX_REPS` (default 3)
+//! controls how many timed repetitions the minimum is taken over.
 
-use rdx_bench::{experiment_params, paper_config, print_table};
+use rdx_bench::{experiment_params, paper_config, print_table, reps, time_min, update_bench_json};
 use rdx_core::{RdxProfile, RdxRunner};
 use rdx_trace::{Opaque, Trace};
 use rdx_workloads::suite;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct Row {
     name: &'static str,
@@ -30,19 +30,6 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.fast_aps / self.slow_aps
     }
-}
-
-/// Minimum wall time of `reps` runs of `f` (seconds, > 0).
-fn time_min<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let out = f();
-        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
-        last = Some(out);
-    }
-    (best, last.expect("reps >= 1"))
 }
 
 fn assert_identical(name: &str, fast: &RdxProfile, slow: &RdxProfile) {
@@ -61,11 +48,7 @@ fn main() {
     let params = experiment_params();
     let config = paper_config();
     let period = config.machine.sampling.period;
-    let reps: u32 = std::env::var("RDX_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
-        .max(1);
+    let reps = reps();
     println!(
         "Throughput: bulk-scan fast path vs per-access loop \
          ({} accesses, period {}, best of {})\n",
@@ -104,27 +87,30 @@ fn main() {
     let max = rows.iter().map(Row::speedup).fold(0.0f64, f64::max);
     println!("\nmax speedup: {max:.2}x (profiles verified bit-identical)");
 
-    let out = std::env::var("RDX_BENCH_OUT").unwrap_or_else(|_| "BENCH_rdx.json".into());
-    std::fs::write(&out, render_json(&rows, params.accesses, period, max))
-        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("wrote {out}");
+    let out = update_bench_json(
+        "throughput",
+        &render_section(&rows, params.accesses, period, max),
+    )
+    .unwrap_or_else(|e| panic!("writing benchmark results: {e}"));
+    println!("wrote {out} (section \"throughput\")");
 }
 
 /// Hand-rolled JSON (the workspace deliberately vendors no JSON crate):
 /// every value written is a finite number or a registry identifier, so
-/// no string escaping is needed.
-fn render_json(rows: &[Row], accesses: u64, period: u64, max: f64) -> String {
+/// no string escaping is needed. The object becomes the `"throughput"`
+/// section of `BENCH_rdx.json`.
+fn render_section(rows: &[Row], accesses: u64, period: u64, max: f64) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"accesses\": {accesses},");
-    let _ = writeln!(s, "  \"period\": {period},");
-    let _ = writeln!(s, "  \"max_speedup\": {max:.3},");
-    let _ = writeln!(s, "  \"workloads\": [");
+    let _ = writeln!(s, "    \"accesses\": {accesses},");
+    let _ = writeln!(s, "    \"period\": {period},");
+    let _ = writeln!(s, "    \"max_speedup\": {max:.3},");
+    let _ = writeln!(s, "    \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "    {{\"name\": \"{}\", \"fast_accesses_per_sec\": {:.1}, \
+            "      {{\"name\": \"{}\", \"fast_accesses_per_sec\": {:.1}, \
              \"slow_accesses_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}",
             r.name,
             r.fast_aps,
@@ -132,7 +118,7 @@ fn render_json(rows: &[Row], accesses: u64, period: u64, max: f64) -> String {
             r.speedup()
         );
     }
-    let _ = writeln!(s, "  ]");
-    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "    ]");
+    let _ = write!(s, "  }}");
     s
 }

@@ -169,6 +169,176 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Minimum wall time of `reps` runs of `f` (seconds, > 0) and the last
+/// result — the standard best-of-N timing loop for the throughput
+/// experiments.
+pub fn time_min<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// Timed repetitions for benchmark loops: `RDX_REPS` (≥ 1, default 3).
+#[must_use]
+pub fn reps() -> u32 {
+    std::env::var("RDX_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Rewrites one top-level section of the benchmark results file
+/// (`BENCH_rdx.json`, path override `RDX_BENCH_OUT`), preserving every
+/// other section so the experiment binaries can each own one key.
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the [`std::io::Error`] from writing the file.
+pub fn update_bench_json(section: &str, body: &str) -> std::io::Result<String> {
+    let out = std::env::var("RDX_BENCH_OUT").unwrap_or_else(|_| "BENCH_rdx.json".into());
+    let existing = std::fs::read_to_string(&out).unwrap_or_default();
+    std::fs::write(&out, merge_json_section(&existing, section, body))?;
+    Ok(out)
+}
+
+/// Returns `existing` (a JSON object, possibly empty or unparseable —
+/// then treated as `{}`) with the top-level key `section` replaced by,
+/// or appended as, `body` (a complete JSON value). The workspace
+/// deliberately vendors no JSON crate, so this is a minimal structural
+/// scan: it understands strings (with escapes) and balanced `{}`/`[]`,
+/// which is all the hand-rolled benchmark output uses.
+#[must_use]
+pub fn merge_json_section(existing: &str, section: &str, body: &str) -> String {
+    let mut entries = parse_top_level(existing).unwrap_or_default();
+    let body = body.trim().to_string();
+    if let Some(entry) = entries.iter_mut().find(|(k, _)| k == section) {
+        entry.1 = body;
+    } else {
+        entries.push((section.to_string(), body));
+    }
+    let mut s = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Splits the top level of a JSON object into `(key, raw value text)`
+/// pairs. `None` when `existing` is not a single object.
+fn parse_top_level(existing: &str) -> Option<Vec<(String, String)>> {
+    let bytes = existing.as_bytes();
+    let mut i = 0;
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut entries = Vec::new();
+    loop {
+        skip_ws(bytes, &mut i);
+        match bytes.get(i)? {
+            b'}' => return Some(entries),
+            b'"' => {
+                let key = read_string(existing, &mut i)?;
+                skip_ws(bytes, &mut i);
+                if bytes.get(i) != Some(&b':') {
+                    return None;
+                }
+                i += 1;
+                skip_ws(bytes, &mut i);
+                let start = i;
+                read_value(existing, &mut i)?;
+                entries.push((key, existing.get(start..i)?.trim().to_string()));
+                skip_ws(bytes, &mut i);
+                if bytes.get(i) == Some(&b',') {
+                    i += 1;
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while bytes.get(*i).is_some_and(u8::is_ascii_whitespace) {
+        *i += 1;
+    }
+}
+
+/// Reads the quoted string starting at `*i` (which must be `"`),
+/// honouring backslash escapes; leaves `*i` just past the close quote.
+fn read_string(s: &str, i: &mut usize) -> Option<String> {
+    let bytes = s.as_bytes();
+    let start = *i + 1;
+    *i = start;
+    while let Some(&b) = bytes.get(*i) {
+        match b {
+            b'\\' => *i += 2,
+            b'"' => {
+                let out = s.get(start..*i)?.to_string();
+                *i += 1;
+                return Some(out);
+            }
+            _ => *i += 1,
+        }
+    }
+    None
+}
+
+/// Advances `*i` past one JSON value: a string, a balanced `{}`/`[]`
+/// composite (string-aware), or a bare scalar.
+fn read_value(s: &str, i: &mut usize) -> Option<()> {
+    let bytes = s.as_bytes();
+    match bytes.get(*i)? {
+        b'"' => {
+            read_string(s, i)?;
+            Some(())
+        }
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            while let Some(&b) = bytes.get(*i) {
+                match b {
+                    b'"' => {
+                        read_string(s, i)?;
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth = depth.checked_sub(1)?;
+                        if depth == 0 {
+                            *i += 1;
+                            return Some(());
+                        }
+                    }
+                    _ => {}
+                }
+                *i += 1;
+            }
+            None
+        }
+        _ => {
+            // Bare scalar: number / true / false / null.
+            while bytes
+                .get(*i)
+                .is_some_and(|&b| !b.is_ascii_whitespace() && b != b',' && b != b'}' && b != b']')
+            {
+                *i += 1;
+            }
+            Some(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +394,66 @@ mod tests {
         let p = experiment_params();
         assert!(p.accesses >= 1000);
         assert!(p.elements >= 1000);
+    }
+
+    #[test]
+    fn merge_inserts_into_empty_or_garbage() {
+        for existing in ["", "not json at all", "[1,2]"] {
+            let merged = merge_json_section(existing, "decode", "{\"x\": 1}");
+            assert_eq!(
+                merged, "{\n  \"decode\": {\"x\": 1}\n}\n",
+                "from {existing:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_replaces_section_and_preserves_others() {
+        let first = merge_json_section("", "throughput", "{\"max\": 5.7, \"rows\": [1, 2]}");
+        let both = merge_json_section(&first, "decode", "{\"speedup\": 3.2}");
+        assert!(both.contains("\"throughput\": {\"max\": 5.7, \"rows\": [1, 2]}"));
+        assert!(both.contains("\"decode\": {\"speedup\": 3.2}"));
+        let replaced = merge_json_section(&both, "throughput", "{\"max\": 9.9}");
+        assert!(replaced.contains("\"throughput\": {\"max\": 9.9}"));
+        assert!(!replaced.contains("5.7"));
+        assert!(replaced.contains("\"decode\": {\"speedup\": 3.2}"));
+    }
+
+    #[test]
+    fn merge_handles_nesting_strings_and_scalars() {
+        let tricky = concat!(
+            "{\n",
+            "  \"a\": {\"s\": \"br{ace\\\" ]\", \"arr\": [{\"k\": [1, 2]}, 3]},\n",
+            "  \"b\": true,\n",
+            "  \"c\": -1.5e3\n",
+            "}\n"
+        );
+        let merged = merge_json_section(tricky, "b", "false");
+        assert!(merged.contains("\"a\": {\"s\": \"br{ace\\\" ]\", \"arr\": [{\"k\": [1, 2]}, 3]}"));
+        assert!(merged.contains("\"b\": false"));
+        assert!(merged.contains("\"c\": -1.5e3"));
+        // Merging is idempotent-stable: a second merge of the same
+        // section parses its own output.
+        let again = merge_json_section(&merged, "b", "false");
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn merge_migrates_legacy_flat_file_by_keeping_keys() {
+        // The pre-sectioned BENCH_rdx.json was one flat object; merging
+        // a new section must not destroy the flat keys.
+        let legacy =
+            "{\n  \"accesses\": 4000000,\n  \"workloads\": [\n    {\"name\": \"x\"}\n  ]\n}\n";
+        let merged = merge_json_section(legacy, "decode", "{\"ok\": 1}");
+        assert!(merged.contains("\"accesses\": 4000000"));
+        assert!(merged.contains("{\"name\": \"x\"}"));
+        assert!(merged.contains("\"decode\": {\"ok\": 1}"));
+    }
+
+    #[test]
+    fn time_min_returns_positive_and_result() {
+        let (secs, out) = time_min(2, || 41 + 1);
+        assert!(secs > 0.0);
+        assert_eq!(out, 42);
     }
 }

@@ -2,13 +2,25 @@
 //!
 //! ```text
 //! rdx list
-//! rdx profile <workload> [--accesses N] [--elements N] [--period N]
-//!             [--seed N] [--registers N] [--jobs N] [--exact] [--mrc]
-//!             [--csv] [--metrics]
-//! rdx suite [--accesses N] [--elements N] [--period N] [--seed N]
-//!           [--jobs N] [--csv] [--metrics]
-//! rdx trace <file>
+//! rdx profile <workload|file.rdxt> [--accesses N] [--elements N]
+//!             [--period N] [--seed N] [--registers N] [--jobs N]
+//!             [--exact] [--mrc] [--csv] [--metrics]
+//!             [--pipelined|--no-pipelined] [--decode-buffer N]
+//!             [--decode-ahead N]
+//! rdx suite [file.rdxt ...] [--accesses N] [--elements N] [--period N]
+//!           [--seed N] [--jobs N] [--csv] [--metrics]
+//!           [--pipelined|--no-pipelined] [--decode-buffer N]
+//!           [--decode-ahead N]
+//! rdx trace <file> [--decode-buffer N] [--metrics]
 //! ```
+//!
+//! `profile` accepts either a registry workload name or a path to a
+//! serialized RDXT trace; `suite` profiles the whole registry, or — when
+//! leading file arguments are given — each trace file in parallel. File
+//! inputs are decoded ahead on a dedicated thread by default
+//! (`--no-pipelined` decodes in bulk on the profiling thread;
+//! `--decode-buffer`/`--decode-ahead` size the chunk and the buffer
+//! ring).
 //!
 //! `--jobs N` parallelizes: `suite` fans workloads over `N` profiler
 //! threads (deterministic, same output as `--jobs 1`), and `profile
@@ -17,25 +29,32 @@
 //! `--metrics` appends a JSON observability report (from `rdx-metrics`)
 //! that crosschecks the registry counters against the profile fields;
 //! a mismatch is a failure. `rdx trace <file>` validates a serialized
-//! trace, reporting decode errors instead of crashing on corrupt input.
+//! trace with the bulk chunk decoder, reporting decode throughput and
+//! chunk statistics — and decode errors instead of crashing on corrupt
+//! input.
 
 #![forbid(unsafe_code)]
 
-use rdx_core::{profile_batch, BatchTask, RdxConfig, RdxProfile, RdxRunner};
+use rdx_core::{
+    load_rdxt, profile_batch, profile_rdxt_batch, BatchTask, IngestOptions, RdxConfig, RdxProfile,
+    RdxRunner,
+};
 use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_histogram::{Binning, Histogram};
-use rdx_trace::{AccessKind, Granularity, TraceReader};
-use rdx_workloads::{by_name, suite, Params};
+use rdx_trace::{AccessKind, Chunk, Granularity, TraceReader, DEFAULT_CHUNK_CAPACITY};
+use rdx_workloads::{by_name, suite, Params, WorkloadSpec};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rdx list\n  rdx profile <workload> [--accesses N] [--elements N] \
-         [--period N]\n              [--seed N] [--registers N] [--jobs N] [--exact] \
-         [--mrc] [--csv] [--metrics]\n  rdx suite [--accesses N] [--elements N] \
-         [--period N] [--seed N] [--jobs N] [--csv]\n            [--metrics]\n  \
-         rdx trace <file>"
+        "usage:\n  rdx list\n  rdx profile <workload|file.rdxt> [--accesses N] \
+         [--elements N] [--period N]\n              [--seed N] [--registers N] [--jobs N] \
+         [--exact] [--mrc] [--csv] [--metrics]\n              [--pipelined|--no-pipelined] \
+         [--decode-buffer N] [--decode-ahead N]\n  rdx suite [file.rdxt ...] [--accesses N] \
+         [--elements N] [--period N] [--seed N]\n            [--jobs N] [--csv] [--metrics] \
+         [--pipelined|--no-pipelined]\n            [--decode-buffer N] [--decode-ahead N]\n  \
+         rdx trace <file> [--decode-buffer N] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -66,10 +85,14 @@ struct Opts {
     period: Option<u64>,
     registers: Option<u64>,
     jobs: Option<u64>,
+    decode_buffer: Option<u64>,
+    decode_ahead: Option<u64>,
     exact: bool,
     mrc: bool,
     csv: bool,
     metrics: bool,
+    pipelined: bool,
+    no_pipelined: bool,
 }
 
 impl Opts {
@@ -85,11 +108,13 @@ impl Opts {
                 return Err(format!("unknown flag '{flag}'"));
             }
             match flag {
-                "--exact" | "--mrc" | "--csv" | "--metrics" => {
+                "--exact" | "--mrc" | "--csv" | "--metrics" | "--pipelined" | "--no-pipelined" => {
                     let slot = match flag {
                         "--exact" => &mut opts.exact,
                         "--mrc" => &mut opts.mrc,
                         "--metrics" => &mut opts.metrics,
+                        "--pipelined" => &mut opts.pipelined,
+                        "--no-pipelined" => &mut opts.no_pipelined,
                         _ => &mut opts.csv,
                     };
                     if *slot {
@@ -105,6 +130,8 @@ impl Opts {
                         "--period" => &mut opts.period,
                         "--registers" => &mut opts.registers,
                         "--jobs" => &mut opts.jobs,
+                        "--decode-buffer" => &mut opts.decode_buffer,
+                        "--decode-ahead" => &mut opts.decode_ahead,
                         _ => unreachable!("allowed flags are handled above"),
                     };
                     if slot.is_some() {
@@ -118,6 +145,9 @@ impl Opts {
                     *slot = Some(value);
                 }
             }
+        }
+        if opts.pipelined && opts.no_pipelined {
+            return Err("'--pipelined' conflicts with '--no-pipelined'".to_string());
         }
         Ok(opts)
     }
@@ -153,6 +183,35 @@ impl Opts {
             None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
     }
+
+    /// How file inputs should be decoded (pipelined decode-ahead unless
+    /// `--no-pipelined`; `--decode-buffer`/`--decode-ahead` size it).
+    fn ingest(&self) -> IngestOptions {
+        let mut o = IngestOptions::default().with_pipelined(!self.no_pipelined);
+        if let Some(v) = self.decode_buffer {
+            o = o.with_chunk_capacity(usize::try_from(v).unwrap_or(usize::MAX).max(1));
+        }
+        if let Some(v) = self.decode_ahead {
+            o = o.with_decode_ahead(usize::try_from(v).unwrap_or(usize::MAX));
+        }
+        o
+    }
+
+    /// The first decode-tuning flag present, if any — these only apply
+    /// to trace-file inputs.
+    fn decode_flag(&self) -> Option<&'static str> {
+        if self.pipelined {
+            Some("--pipelined")
+        } else if self.no_pipelined {
+            Some("--no-pipelined")
+        } else if self.decode_buffer.is_some() {
+            Some("--decode-buffer")
+        } else if self.decode_ahead.is_some() {
+            Some("--decode-ahead")
+        } else {
+            None
+        }
+    }
 }
 
 const PROFILE_FLAGS: &[&str] = &[
@@ -162,10 +221,14 @@ const PROFILE_FLAGS: &[&str] = &[
     "--period",
     "--registers",
     "--jobs",
+    "--decode-buffer",
+    "--decode-ahead",
     "--exact",
     "--mrc",
     "--csv",
     "--metrics",
+    "--pipelined",
+    "--no-pipelined",
 ];
 
 const SUITE_FLAGS: &[&str] = &[
@@ -174,18 +237,23 @@ const SUITE_FLAGS: &[&str] = &[
     "--seed",
     "--period",
     "--jobs",
+    "--decode-buffer",
+    "--decode-ahead",
     "--csv",
     "--metrics",
+    "--pipelined",
+    "--no-pipelined",
 ];
+
+const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--metrics"];
 
 fn profile(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
         return usage();
     };
-    let Some(workload) = by_name(name) else {
-        eprintln!("unknown workload '{name}'; try `rdx list`");
-        return ExitCode::FAILURE;
-    };
+    if name.starts_with("--") {
+        return usage();
+    }
     let opts = match Opts::parse(&args[1..], PROFILE_FLAGS) {
         Ok(o) => o,
         Err(e) => {
@@ -193,6 +261,24 @@ fn profile(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(workload) = by_name(name) {
+        return profile_workload(workload, &opts);
+    }
+    if std::path::Path::new(name).exists() {
+        return profile_file(name, &opts);
+    }
+    eprintln!("unknown workload '{name}' and no such trace file; try `rdx list`");
+    ExitCode::FAILURE
+}
+
+fn profile_workload(workload: &WorkloadSpec, opts: &Opts) -> ExitCode {
+    if let Some(flag) = opts.decode_flag() {
+        eprintln!(
+            "error: {flag} applies to trace-file inputs; '{}' is a generated workload",
+            workload.name
+        );
+        return ExitCode::FAILURE;
+    }
     let params = opts.params();
     let config = opts.config();
     let csv = opts.csv;
@@ -224,11 +310,7 @@ fn profile(args: &[String]) -> ExitCode {
     print_histogram(profile.rd.as_histogram(), csv);
 
     if opts.mrc {
-        let mrc = profile.miss_ratio_curve();
-        println!("\nmiss-ratio curve (capacity in blocks):");
-        for cap in [1u64 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18, 1 << 21] {
-            println!("  {:>10} {:.4}", cap, mrc.miss_ratio(cap));
-        }
+        print_mrc(&profile);
     }
 
     if opts.exact {
@@ -254,16 +336,105 @@ fn profile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Profiles one serialized RDXT trace file. Decoding is pipelined ahead
+/// of the profiler by default; the profile covers the decodable prefix,
+/// and a short or trailing-data decode is a failure after reporting.
+fn profile_file(path: &str, opts: &Opts) -> ExitCode {
+    for (flag, given) in [
+        ("--accesses", opts.accesses.is_some()),
+        ("--elements", opts.elements.is_some()),
+        ("--exact", opts.exact),
+    ] {
+        if given {
+            eprintln!("error: {flag} applies to generated workloads; '{path}' is a trace file");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
+    let input = match load_rdxt(path) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let label = input.label.clone();
+    let declared = input.declared;
+    let ingest = opts.ingest();
+    let csv = opts.csv;
+    let (profile, verdict) = RdxRunner::new(opts.config()).profile_rdxt(input, &ingest);
+    if !csv {
+        println!("trace           : {label}");
+        println!("source          : {path} ({declared} declared accesses)");
+        println!("accesses        : {}", profile.accesses);
+        println!("samples/traps   : {} / {}", profile.samples, profile.traps);
+        println!("est. blocks     : {:.0}", profile.m_estimate);
+        println!("time overhead   : {:.2}%", profile.time_overhead * 100.0);
+        println!(
+            "ingestion       : {} (chunk capacity {})",
+            if ingest.pipelined {
+                "pipelined decode-ahead"
+            } else {
+                "bulk decode"
+            },
+            ingest.chunk_capacity
+        );
+        println!("\nreuse-distance histogram (weights normalized):");
+    }
+    print_histogram(profile.rd.as_histogram(), csv);
+    if opts.mrc {
+        print_mrc(&profile);
+    }
+    let mut code = ExitCode::SUCCESS;
+    if let Err(e) = verdict {
+        eprintln!(
+            "error: '{path}' decoded {} of {declared} declared accesses: {e}",
+            profile.accesses
+        );
+        code = ExitCode::FAILURE;
+    }
+    if opts.metrics {
+        let metrics_code = emit_metrics_report(&[(label, profile)]);
+        if code == ExitCode::SUCCESS {
+            code = metrics_code;
+        }
+    }
+    code
+}
+
+fn print_mrc(profile: &RdxProfile) {
+    let mrc = profile.miss_ratio_curve();
+    println!("\nmiss-ratio curve (capacity in blocks):");
+    for cap in [1u64 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18, 1 << 21] {
+        println!("  {:>10} {:.4}", cap, mrc.miss_ratio(cap));
+    }
+}
+
 /// Profiles every registry workload in parallel and prints one summary
-/// row per workload (identical output for any `--jobs` value).
+/// row per workload (identical output for any `--jobs` value). Leading
+/// non-flag arguments are RDXT trace files to profile instead.
 fn suite_cmd(args: &[String]) -> ExitCode {
-    let opts = match Opts::parse(args, SUITE_FLAGS) {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (files, flag_args) = args.split_at(split);
+    let opts = match Opts::parse(flag_args, SUITE_FLAGS) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if !files.is_empty() {
+        return suite_files(files, &opts);
+    }
+    if let Some(flag) = opts.decode_flag() {
+        eprintln!("error: {flag} applies to trace-file inputs; pass RDXT files to `rdx suite`");
+        return ExitCode::FAILURE;
+    }
     let params = opts.params();
     let config = opts.config();
     let jobs = opts.jobs();
@@ -328,6 +499,120 @@ fn suite_cmd(args: &[String]) -> ExitCode {
         return emit_metrics_report(&rows);
     }
     ExitCode::SUCCESS
+}
+
+/// Profiles a set of RDXT trace files in parallel, one summary row per
+/// file. A file that decodes short of its declared record count is
+/// reported (its profile covers the decodable prefix) and fails the run.
+fn suite_files(files: &[String], opts: &Opts) -> ExitCode {
+    for (flag, given) in [
+        ("--accesses", opts.accesses.is_some()),
+        ("--elements", opts.elements.is_some()),
+    ] {
+        if given {
+            eprintln!("error: {flag} applies to generated workloads, not trace files");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
+    let mut inputs = Vec::with_capacity(files.len());
+    for path in files {
+        match load_rdxt(path) {
+            Ok(input) => inputs.push(input),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let config = opts.config();
+    let jobs = opts.jobs();
+    let ingest = opts.ingest();
+    let reports = profile_rdxt_batch(config, inputs, &ingest, jobs);
+
+    if opts.csv {
+        println!("trace,declared,accesses,samples,traps,est_blocks,time_overhead,mean_rd,clean");
+    } else {
+        println!(
+            "suite: {} trace files, period {}, {} jobs, {} decode\n",
+            reports.len(),
+            config.machine.sampling.period,
+            jobs,
+            if ingest.pipelined {
+                "pipelined"
+            } else {
+                "bulk"
+            }
+        );
+        println!(
+            "{:16} {:>10} {:>10} {:>8} {:>8} {:>11} {:>9} {:>10}",
+            "trace",
+            "declared",
+            "accesses",
+            "samples",
+            "traps",
+            "est. blocks",
+            "overhead",
+            "mean rd"
+        );
+    }
+    for r in &reports {
+        let p = &r.profile;
+        let mean_rd = p.rd.as_histogram().finite_mean().unwrap_or(f64::NAN);
+        if opts.csv {
+            println!(
+                "{},{},{},{},{},{:.0},{:.6},{:.1},{}",
+                r.label,
+                r.declared,
+                p.accesses,
+                p.samples,
+                p.traps,
+                p.m_estimate,
+                p.time_overhead,
+                mean_rd,
+                !r.truncated()
+            );
+        } else {
+            println!(
+                "{:16} {:>10} {:>10} {:>8} {:>8} {:>11.0} {:>8.2}% {:>10.1}{}",
+                r.label,
+                r.declared,
+                p.accesses,
+                p.samples,
+                p.traps,
+                p.m_estimate,
+                p.time_overhead * 100.0,
+                mean_rd,
+                if r.truncated() { "  [truncated]" } else { "" }
+            );
+        }
+    }
+    let truncated = reports.iter().filter(|r| r.truncated()).count();
+    for r in reports.iter().filter(|r| r.truncated()) {
+        eprintln!(
+            "warning: '{}' decoded {} of {} declared accesses",
+            r.label, r.profile.accesses, r.declared
+        );
+    }
+    let mut code = ExitCode::SUCCESS;
+    if truncated > 0 {
+        eprintln!(
+            "error: {truncated} of {} trace files were truncated or corrupt",
+            reports.len()
+        );
+        code = ExitCode::FAILURE;
+    }
+    if opts.metrics {
+        let rows: Vec<(String, RdxProfile)> =
+            reports.into_iter().map(|r| (r.label, r.profile)).collect();
+        let metrics_code = emit_metrics_report(&rows);
+        if code == ExitCode::SUCCESS {
+            code = metrics_code;
+        }
+    }
+    code
 }
 
 /// Counter names whose registry totals must equal the summed profile
@@ -418,13 +703,27 @@ fn emit_metrics_report(rows: &[(String, RdxProfile)]) -> ExitCode {
     }
 }
 
-/// Validates a serialized trace file, streaming through every record.
-/// Corrupt or truncated input is reported as a decode error with the
-/// position reached — never a panic.
+/// Validates a serialized trace file with the bulk chunk decoder,
+/// reporting decode throughput and chunk statistics. Corrupt or
+/// truncated input is reported as a decode error with the position
+/// reached — never a panic.
 fn trace_cmd(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
+    if path.starts_with("--") {
+        return usage();
+    }
+    let opts = match Opts::parse(&args[1..], TRACE_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) => {
@@ -440,36 +739,124 @@ fn trace_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (mut loads, mut stores) = (0u64, 0u64);
-    loop {
-        match reader.try_next() {
-            Ok(Some(a)) => match a.kind {
-                AccessKind::Load => loads += 1,
-                AccessKind::Store => stores += 1,
-            },
-            Ok(None) => break,
-            Err(e) => {
-                eprintln!(
-                    "error: '{path}' is corrupt after {} of {} declared accesses: {e}",
-                    reader.decoded(),
-                    reader.declared_len()
-                );
-                return ExitCode::FAILURE;
-            }
+    let declared = reader.declared_len();
+    let capacity = opts
+        .decode_buffer
+        .map_or(DEFAULT_CHUNK_CAPACITY, |v| {
+            usize::try_from(v).unwrap_or(usize::MAX)
+        })
+        .max(1);
+    let mut chunk = Chunk::default();
+    let (mut stores, mut chunks, mut accesses) = (0u64, 0u64, 0u64);
+    let (mut min_fill, mut max_fill) = (usize::MAX, 0usize);
+    // Observational readout only: the elapsed time prints as a decode
+    // rate and never feeds back into any measurement.
+    // rdx-lint-allow: wall-clock — reports decode throughput to the user; not on a measurement path
+    let start = std::time::Instant::now();
+    let failure = loop {
+        let result = reader.decode_chunk(&mut chunk, capacity);
+        if !chunk.is_empty() {
+            chunks += 1;
+            accesses += chunk.len() as u64;
+            min_fill = min_fill.min(chunk.len());
+            max_fill = max_fill.max(chunk.len());
+            stores += chunk
+                .accesses
+                .iter()
+                .filter(|a| matches!(a.kind, AccessKind::Store))
+                .count() as u64;
         }
+        match result {
+            Ok(0) => break None,
+            Ok(_) => {}
+            Err(e) => break Some(e),
+        }
+    };
+    let elapsed = start.elapsed();
+    if let Some(e) = failure {
+        eprintln!(
+            "error: '{path}' is corrupt after {} of {declared} declared accesses: {e}",
+            reader.decoded(),
+        );
+        return ExitCode::FAILURE;
     }
     let name = reader.name().to_string();
+    let decoded = reader.decoded();
     if let Err(e) = reader.finish() {
         eprintln!("error: '{path}': {e}");
         return ExitCode::FAILURE;
     }
+    let loads = accesses - stores;
     println!("trace           : {name}");
     println!("file size       : {total_bytes} B");
-    println!(
-        "accesses        : {} ({loads} loads, {stores} stores)",
-        loads + stores
-    );
+    println!("accesses        : {accesses} ({loads} loads, {stores} stores)");
+    if chunks > 0 {
+        println!("chunks          : {chunks} (capacity {capacity}, fill {min_fill}..={max_fill})");
+    }
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 && accesses > 0 {
+        println!(
+            "decode rate     : {:.0} M acc/s ({:.0} MB/s)",
+            accesses as f64 / secs / 1e6,
+            total_bytes as f64 / secs / 1e6
+        );
+    }
+    if opts.metrics {
+        return emit_trace_metrics(decoded);
+    }
     ExitCode::SUCCESS
+}
+
+/// Counters the `rdx trace --metrics` report prints, in output order.
+const DECODE_COUNTERS: &[&str] = &[
+    "rdx.trace.decode.accesses",
+    "rdx.trace.decode.bytes",
+    "rdx.trace.decode.chunks",
+    "rdx.trace.decode.events",
+    "rdx.trace.decode.recycled_buffers",
+    "rdx.trace.decode.stalls",
+];
+
+/// Prints the `rdx trace --metrics` JSON report: the decode counters
+/// and a crosscheck of `rdx.trace.decode.accesses` against the record
+/// count the validator itself decoded. FAILURE when they disagree.
+fn emit_trace_metrics(decoded: u64) -> ExitCode {
+    use std::fmt::Write as _;
+    let snap = rdx_metrics::snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let observed = counter("rdx.trace.decode.accesses");
+    let matched = !rdx_metrics::enabled() || observed == decoded;
+
+    let mut out = String::new();
+    let _ = write!(out, "{{\"enabled\":{},", rdx_metrics::enabled());
+    out.push_str("\"decode\":{");
+    for (i, name) in DECODE_COUNTERS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{}", counter(name));
+    }
+    let _ = write!(
+        out,
+        "}},\"crosscheck\":[{{\"counter\":\"rdx.trace.decode.accesses\",\
+         \"expected\":{decoded},\"observed\":{observed},\"matched\":{matched}}}],\
+         \"matched\":{matched},\"registry\":{}",
+        snap.to_json()
+    );
+    out.push('}');
+
+    println!("\nmetrics report:");
+    println!("{out}");
+    if !rdx_metrics::enabled() {
+        eprintln!("note: this binary was built without the `metrics` feature; probes are no-ops");
+        return ExitCode::SUCCESS;
+    }
+    if matched {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: rdx.trace.decode.accesses disagrees with the validator's own count");
+        ExitCode::FAILURE
+    }
 }
 
 fn print_histogram(h: &Histogram, csv: bool) {
@@ -507,6 +894,17 @@ fn print_histogram(h: &Histogram, csv: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes access to the process-global metrics registry: every
+    /// test that decodes traces or profiles must hold this so the
+    /// `--metrics` crosschecks see only their own increments.
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn metrics_guard() -> std::sync::MutexGuard<'static, ()> {
+        METRICS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn to_args(s: &[&str]) -> Vec<String> {
         s.iter().map(|a| (*a).to_string()).collect()
@@ -577,12 +975,61 @@ mod tests {
         assert!(err.contains("duplicate flag '--metrics'"), "{err}");
     }
 
+    #[test]
+    fn decode_flags_parse_and_conflict() {
+        for flags in [PROFILE_FLAGS, SUITE_FLAGS] {
+            let opts = Opts::parse(
+                &to_args(&[
+                    "--no-pipelined",
+                    "--decode-buffer",
+                    "4096",
+                    "--decode-ahead",
+                    "3",
+                ]),
+                flags,
+            )
+            .unwrap();
+            assert!(opts.no_pipelined);
+            assert_eq!(opts.decode_buffer, Some(4096));
+            assert_eq!(opts.decode_ahead, Some(3));
+            let ingest = opts.ingest();
+            assert!(!ingest.pipelined);
+            assert_eq!(ingest.chunk_capacity, 4096);
+            assert_eq!(ingest.decode_ahead, 3);
+        }
+        let err =
+            Opts::parse(&to_args(&["--pipelined", "--no-pipelined"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+    }
+
+    #[test]
+    fn trace_flags_reject_profile_flags() {
+        let err = Opts::parse(&to_args(&["--period", "512"]), TRACE_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let opts = Opts::parse(
+            &to_args(&["--decode-buffer", "128", "--metrics"]),
+            TRACE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.decode_buffer, Some(128));
+        assert!(opts.metrics);
+    }
+
     fn temp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("rdx-cli-test-{}-{name}", std::process::id()))
     }
 
+    fn write_sample_trace(name: &str, accesses: u64) -> (std::path::PathBuf, Vec<u8>) {
+        let trace = rdx_trace::Trace::from_addresses(name, (0..accesses).map(|i| (i % 257) * 64));
+        let bytes = rdx_trace::io::to_bytes(&trace).to_vec();
+        let path = temp_path(&format!("{name}.rdxt"));
+        std::fs::write(&path, &bytes).unwrap();
+        (path, bytes)
+    }
+
     #[test]
     fn trace_cmd_accepts_valid_and_rejects_corrupt_files() {
+        let _guard = metrics_guard();
         let trace =
             rdx_trace::Trace::from_addresses("roundtrip", (0..500u64).map(|i| (i % 37) * 8));
         let bytes = rdx_trace::io::to_bytes(&trace);
@@ -601,7 +1048,87 @@ mod tests {
     }
 
     #[test]
+    fn trace_cmd_metrics_crosscheck_passes() {
+        let _guard = metrics_guard();
+        let (path, _) = write_sample_trace("trace-metrics", 20_000);
+        // A small decode buffer forces many chunks; the counter
+        // crosscheck must still match the validator's own count.
+        let code = trace_cmd(&to_args(&[
+            &path.display().to_string(),
+            "--decode-buffer",
+            "1000",
+            "--metrics",
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn profile_accepts_trace_files_and_flags_corruption() {
+        let _guard = metrics_guard();
+        let (path, bytes) = write_sample_trace("profile-file", 30_000);
+        let arg = path.display().to_string();
+        for extra in [
+            &["--period", "512", "--csv"][..],
+            &["--no-pipelined", "--csv"][..],
+        ] {
+            let mut args = vec![arg.clone()];
+            args.extend(extra.iter().map(|s| (*s).to_string()));
+            assert_eq!(profile(&args), ExitCode::SUCCESS, "{extra:?}");
+        }
+        // Workload-only flags are rejected for file inputs.
+        assert_eq!(profile(&to_args(&[&arg, "--exact"])), ExitCode::FAILURE);
+        // A truncated file profiles its prefix but exits FAILURE.
+        let cut = temp_path("profile-cut.rdxt");
+        std::fs::write(&cut, &bytes[..bytes.len() - 7]).unwrap();
+        assert_eq!(
+            profile(&to_args(&[&cut.display().to_string(), "--csv"])),
+            ExitCode::FAILURE
+        );
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(cut);
+    }
+
+    #[test]
+    fn profile_rejects_decode_flags_for_workloads() {
+        let code = profile(&to_args(&["zipf", "--pipelined", "--accesses", "1000"]));
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn suite_profiles_trace_files_and_flags_truncation() {
+        let _guard = metrics_guard();
+        let (a, _) = write_sample_trace("suite-a", 20_000);
+        let (b, bytes) = write_sample_trace("suite-b", 25_000);
+        let args = to_args(&[
+            &a.display().to_string(),
+            &b.display().to_string(),
+            "--period",
+            "512",
+            "--csv",
+            "--jobs",
+            "2",
+        ]);
+        assert_eq!(suite_cmd(&args), ExitCode::SUCCESS);
+
+        // One corrupt member fails the whole run.
+        let cut = temp_path("suite-cut.rdxt");
+        std::fs::write(&cut, &bytes[..bytes.len() - 9]).unwrap();
+        let args = to_args(&[
+            &a.display().to_string(),
+            &cut.display().to_string(),
+            "--csv",
+        ]);
+        assert_eq!(suite_cmd(&args), ExitCode::FAILURE);
+
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+        let _ = std::fs::remove_file(cut);
+    }
+
+    #[test]
     fn metrics_crosscheck_rows_sum_profiles() {
+        let _guard = metrics_guard();
         let params = rdx_workloads::Params::default()
             .with_accesses(30_000)
             .with_elements(400);

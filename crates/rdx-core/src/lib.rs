@@ -53,6 +53,7 @@ pub mod batch;
 pub mod budget;
 mod config;
 pub mod convert;
+pub mod ingest;
 pub mod km;
 mod profiler;
 mod report;
@@ -62,6 +63,9 @@ mod windows;
 pub use batch::{default_jobs, profile_batch, BatchTask};
 pub use config::{CensoringCorrection, ConversionMethod, RdxConfig, ReplacementPolicy};
 pub use convert::WeightedFootprint;
+pub use ingest::{
+    load_rdxt, profile_rdxt_batch, IngestError, IngestOptions, RdxtInput, RdxtReport, RdxtStream,
+};
 pub use profiler::RdxProfiler;
 pub use report::RdxProfile;
 pub use runner::RdxRunner;

@@ -53,7 +53,13 @@ impl LintConfig {
     #[must_use]
     pub fn rdx_default() -> LintConfig {
         LintConfig {
-            hot_crates: strings(&["memsim", "rdx-core", "rdx-groundtruth", "rdx-baselines"]),
+            hot_crates: strings(&[
+                "memsim",
+                "rdx-core",
+                "rdx-groundtruth",
+                "rdx-baselines",
+                "rdx-trace",
+            ]),
             clock_exempt_crates: strings(&["rdx-bench", "rdx-metrics"]),
             hot_path_files: [
                 ("memsim", "machine.rs"),
@@ -65,6 +71,7 @@ impl LintConfig {
                 ("rdx-trace", "io.rs"),
                 ("rdx-trace", "stream.rs"),
                 ("rdx-trace", "chunk.rs"),
+                ("rdx-trace", "pipeline.rs"),
             ]
             .iter()
             .map(|&(c, f)| (c.to_string(), f.to_string()))

@@ -17,7 +17,7 @@ use crate::stream::AccessStream;
 pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
 
 /// A contiguous run of accesses starting at `base_index` in the stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Chunk {
     /// Stream index of `accesses[0]`.
     pub base_index: u64,

@@ -22,6 +22,7 @@
 //! process in control of recovery. Proptests below drive arbitrary
 //! garbage through both layers to keep that guarantee honest.
 
+use crate::chunk::{Chunk, DEFAULT_CHUNK_CAPACITY};
 use crate::event::{Access, AccessKind, Address};
 use crate::stream::AccessStream;
 use crate::trace::Trace;
@@ -165,6 +166,10 @@ pub struct TraceReader {
     decoded: u64,
     prev: u64,
     error: Option<TraceError>,
+    /// Bulk-decoded accesses not yet handed out through the chunk API.
+    pending: Chunk,
+    pos: usize,
+    chunk_capacity: usize,
 }
 
 impl TraceReader {
@@ -208,7 +213,20 @@ impl TraceReader {
             decoded: 0,
             prev: 0,
             error: None,
+            pending: Chunk::default(),
+            pos: 0,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
         })
+    }
+
+    /// Sets the number of accesses the reader bulk-decodes per refill of
+    /// its internal chunk buffer (≥ 1; default
+    /// [`DEFAULT_CHUNK_CAPACITY`]). Only affects the chunk API, not
+    /// [`try_next`](TraceReader::try_next).
+    #[must_use]
+    pub fn with_chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = capacity.max(1);
+        self
     }
 
     /// Reads all of `reader` and parses the header.
@@ -234,7 +252,9 @@ impl TraceReader {
         self.declared
     }
 
-    /// Records decoded so far.
+    /// Records decoded from the wire so far. When the chunk API is in
+    /// use this can run ahead of what the consumer has pulled by up to
+    /// one internal chunk buffer.
     #[must_use]
     pub fn decoded(&self) -> u64 {
         self.decoded
@@ -260,6 +280,16 @@ impl TraceReader {
     /// Returns [`TraceError::Truncated`] when the input ends or a
     /// varint is malformed before the declared record count is reached.
     pub fn try_next(&mut self) -> Result<Option<Access>, TraceError> {
+        // Serve accesses already bulk-decoded into the chunk buffer
+        // first (mixed chunk/scalar consumption must preserve order);
+        // after an error the buffer holds the decoded prefix, which is
+        // still delivered before the parked error surfaces.
+        if self.pos < self.pending.len() {
+            if let Some(a) = self.pending.accesses.get(self.pos).copied() {
+                self.pos += 1;
+                return Ok(Some(a));
+            }
+        }
         if self.error.is_some() {
             return Err(TraceError::Truncated);
         }
@@ -291,6 +321,110 @@ impl TraceReader {
         }))
     }
 
+    /// Bulk-decodes up to `max` accesses into `out` in one tight pass.
+    ///
+    /// `out` is cleared and reused: `out.base_index` is set to the
+    /// stream index of the first decoded access, and the per-record
+    /// bounds/tag checks of [`try_next`](TraceReader::try_next) are
+    /// amortized over the whole chunk by decoding straight from the
+    /// backing slice with one cursor advance at the end.
+    ///
+    /// Returns the number of accesses decoded; `Ok(0)` means a clean
+    /// end of trace. The reader stays fused exactly like `try_next`:
+    /// after an error every further call fails.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] when the input ends or a varint is
+    /// malformed before the declared record count is reached. The
+    /// successfully decoded prefix (possibly empty) is left in `out` —
+    /// error recovery is at chunk granularity: the prefix is valid,
+    /// everything after the error is not.
+    pub fn decode_chunk(&mut self, out: &mut Chunk, max: usize) -> Result<usize, TraceError> {
+        out.base_index = self.decoded;
+        out.accesses.clear();
+        if self.error.is_some() {
+            return Err(TraceError::Truncated);
+        }
+        let remaining = self.declared - self.decoded;
+        let target = usize::try_from(remaining).map_or(max, |r| r.min(max));
+        if target == 0 {
+            return Ok(0);
+        }
+        // Every record is at least one byte, so the bytes left bound the
+        // record count: a corrupt header declaring 2^60 records cannot
+        // drive this reservation past the input size (or `max`).
+        out.accesses.reserve(target.min(self.buf.remaining()));
+        let bytes = self.buf.chunk();
+        let mut p = 0usize;
+        let mut committed = 0usize;
+        let mut prev = self.prev;
+        let mut truncated = false;
+        'records: while out.accesses.len() < target {
+            let mut raw = 0u128;
+            let mut shift = 0u32;
+            loop {
+                let Some(&byte) = bytes.get(p) else {
+                    truncated = true;
+                    break 'records;
+                };
+                p += 1;
+                if shift >= 128 {
+                    truncated = true;
+                    break 'records;
+                }
+                raw |= u128::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            let kind = if raw & 1 == 1 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let delta = unzigzag((raw >> 1) as u64);
+            prev = prev.wrapping_add(delta as u64);
+            out.accesses.push(Access {
+                addr: Address::new(prev),
+                kind,
+            });
+            committed = p;
+        }
+        let n = out.accesses.len();
+        self.prev = prev;
+        self.decoded += n as u64;
+        self.buf.advance(committed);
+        if n > 0 {
+            rdx_metrics::counter("rdx.trace.decode.bytes").add(committed as u64);
+            rdx_metrics::counter("rdx.trace.decode.events").add(n as u64);
+            rdx_metrics::counter("rdx.trace.decode.accesses").add(n as u64);
+            rdx_metrics::counter("rdx.trace.decode.chunks").incr();
+        }
+        if truncated {
+            self.error = Some(TraceError::Truncated);
+            return Err(TraceError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Refills the internal chunk buffer via
+    /// [`decode_chunk`](TraceReader::decode_chunk). A failed bulk decode
+    /// parks the error exactly like `try_next`; the successfully decoded
+    /// prefix is still served.
+    fn refill(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        let _ = self.decode_chunk(&mut pending, self.chunk_capacity);
+        self.pending = pending;
+        self.pos = 0;
+    }
+
+    /// Accesses bulk-decoded but not yet handed out.
+    fn buffered(&self) -> usize {
+        self.pending.len() - self.pos
+    }
+
     /// Verifies the reader consumed the input exactly: all declared
     /// records decoded and no bytes left over.
     ///
@@ -320,10 +454,30 @@ impl AccessStream for TraceReader {
     }
 
     fn remaining_hint(&self) -> Option<u64> {
+        let buffered = self.buffered() as u64;
         if self.error.is_some() {
-            return Some(0);
+            return Some(buffered);
         }
-        Some(self.declared - self.decoded)
+        Some(buffered + (self.declared - self.decoded))
+    }
+
+    fn chunk_capable(&self) -> bool {
+        true
+    }
+
+    fn next_chunk(&mut self) -> Option<&[Access]> {
+        if self.buffered() == 0 {
+            self.refill();
+            if self.buffered() == 0 {
+                return None;
+            }
+        }
+        self.pending.accesses.get(self.pos..)
+    }
+
+    fn consume_chunk(&mut self, n: usize) {
+        debug_assert!(n <= self.buffered());
+        self.pos += n.min(self.buffered());
     }
 }
 
@@ -529,6 +683,134 @@ mod tests {
         assert!(reader.next_access().is_some());
         assert!(matches!(reader.finish(), Err(TraceError::Truncated)));
     }
+
+    #[test]
+    fn decode_chunk_bulk_decodes_whole_trace() {
+        let t = sample_trace();
+        let raw = to_bytes(&Trace::from_stream("bulk", t.stream()));
+        let mut reader = TraceReader::new(raw).unwrap();
+        let mut chunk = Chunk::default();
+        let mut got = Vec::new();
+        let mut bases = Vec::new();
+        loop {
+            let n = reader.decode_chunk(&mut chunk, 4).unwrap();
+            if n == 0 {
+                break;
+            }
+            bases.push(chunk.base_index);
+            got.extend_from_slice(&chunk.accesses);
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert_eq!(bases, vec![0, 4]);
+        assert!(reader.finish().is_ok());
+    }
+
+    #[test]
+    fn decode_chunk_keeps_prefix_on_truncation_and_fuses() {
+        let t = Trace::from_addresses("cut", (0..100u64).map(|i| i * 64));
+        let raw = to_bytes(&t);
+        let cut = raw.slice(..raw.len() - 7);
+        let mut reader = TraceReader::new(cut).unwrap();
+        let mut chunk = Chunk::default();
+        let err = reader.decode_chunk(&mut chunk, 1 << 16).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated));
+        assert!(!chunk.is_empty(), "decoded prefix must be preserved");
+        assert_eq!(chunk.len() as u64, reader.decoded());
+        // fused: the next bulk call fails with a cleared chunk
+        assert!(reader.decode_chunk(&mut chunk, 16).is_err());
+        assert!(chunk.is_empty());
+        assert!(matches!(reader.error(), Some(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn reader_is_chunk_capable_and_serves_slices() {
+        let t = Trace::from_addresses("slices", (0..300u64).map(|i| i * 8));
+        let raw = to_bytes(&t);
+        let mut reader = TraceReader::new(raw).unwrap().with_chunk_capacity(128);
+        assert!(reader.chunk_capable());
+        assert_eq!(reader.remaining_hint(), Some(300));
+        let mut got = Vec::new();
+        let mut lens = Vec::new();
+        while let Some(run) = reader.next_chunk() {
+            lens.push(run.len());
+            got.extend_from_slice(run);
+            let n = run.len();
+            reader.consume_chunk(n);
+        }
+        assert_eq!(lens, vec![128, 128, 44]);
+        assert_eq!(got.as_slice(), t.accesses());
+        assert!(reader.finish().is_ok());
+    }
+
+    #[test]
+    fn reader_mixed_scalar_and_chunk_reads_preserve_order() {
+        let t = Trace::from_addresses("mix", (0..20u64).map(|i| i * 8));
+        let mut reader = TraceReader::new(to_bytes(&t))
+            .unwrap()
+            .with_chunk_capacity(8);
+        // chunk, partial consume, scalar reads from the same buffer,
+        // then chunks again — the global order must be unbroken.
+        let first = reader.next_chunk().expect("first chunk");
+        assert_eq!(first.len(), 8);
+        reader.consume_chunk(3);
+        assert_eq!(reader.next_access().unwrap().addr.raw(), 3 * 8);
+        assert_eq!(reader.next_chunk().expect("rest").len(), 4);
+        reader.consume_chunk(4);
+        let mut rest = Vec::new();
+        while let Some(a) = reader.next_access() {
+            rest.push(a.addr.raw());
+        }
+        assert_eq!(rest, (8..20u64).map(|i| i * 8).collect::<Vec<_>>());
+        assert!(reader.finish().is_ok());
+    }
+
+    #[test]
+    fn chunk_api_serves_decoded_prefix_before_parked_error() {
+        let t = Trace::from_addresses("cutc", (0..50u64).map(|i| i * 64));
+        let raw = to_bytes(&t);
+        let cut = raw.slice(..raw.len() - 5);
+        let mut reader = TraceReader::new(cut).unwrap();
+        let mut streamed = 0u64;
+        while let Some(run) = reader.next_chunk() {
+            streamed += run.len() as u64;
+            let n = run.len();
+            reader.consume_chunk(n);
+        }
+        assert!(streamed < 50, "stream must end early, got {streamed}");
+        assert_eq!(streamed, reader.decoded());
+        assert!(matches!(reader.error(), Some(TraceError::Truncated)));
+        assert!(reader.next_chunk().is_none());
+        assert_eq!(reader.remaining_hint(), Some(0));
+        assert!(reader.finish().is_err());
+    }
+
+    #[test]
+    fn absurd_declared_count_does_not_preallocate() {
+        // A 30-byte file whose header declares u64::MAX records must
+        // fail with a typed error, not abort in a capacity reservation.
+        let t = Trace::from_addresses("big", [1u64, 2, 3]);
+        let mut raw = to_bytes(&t).to_vec();
+        let name_len = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]) as usize;
+        let count_at = 12 + name_len;
+        raw[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // one-shot decode
+        assert!(matches!(
+            from_bytes(raw.clone()),
+            Err(TraceError::Truncated)
+        ));
+        // bulk decode
+        let mut reader = TraceReader::new(raw.clone()).unwrap();
+        assert_eq!(reader.declared_len(), u64::MAX);
+        let mut chunk = Chunk::default();
+        assert!(reader.decode_chunk(&mut chunk, usize::MAX).is_err());
+        assert_eq!(chunk.len(), 3, "valid prefix records still decode");
+        // streaming decode through Trace::from_stream (remaining_hint is
+        // absurd; the materializer must clamp its reservation)
+        let mut reader = TraceReader::new(raw).unwrap();
+        let streamed = Trace::from_stream("clamped", &mut reader);
+        assert_eq!(streamed.len(), 3);
+        assert!(reader.error().is_some());
+    }
 }
 
 #[cfg(test)]
@@ -662,6 +944,85 @@ mod proptests {
             let mut framed = to_bytes(&Trace::new("fuzz")).to_vec();
             framed.extend_from_slice(&data);
             let _ = from_bytes(framed);
+        }
+
+        /// `decode_chunk` yields the byte-for-byte same access sequence
+        /// — and on corrupt input the same first error at the same
+        /// decoded offset — as the per-access `try_next` loop, for any
+        /// chunk capacity and any truncation point.
+        #[test]
+        fn decode_chunk_matches_try_next(
+            records in prop::collection::vec((any::<u64>(), any::<bool>()), 0..64),
+            capacity in 1usize..40,
+            cut_back in 0usize..24,
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let full = to_bytes(&t);
+            let cut = full.len().saturating_sub(cut_back).max(20);
+            for raw in [full.clone(), full.slice(..cut.min(full.len()))] {
+                let Ok(mut scalar) = TraceReader::new(raw.clone()) else { continue };
+                let mut want = Vec::new();
+                let scalar_err = loop {
+                    match scalar.try_next() {
+                        Ok(Some(a)) => want.push(a),
+                        Ok(None) => break false,
+                        Err(_) => break true,
+                    }
+                };
+                let Ok(mut bulk) = TraceReader::new(raw) else { continue };
+                let mut got = Vec::new();
+                let mut chunk = Chunk::default();
+                let bulk_err = loop {
+                    match bulk.decode_chunk(&mut chunk, capacity) {
+                        Ok(0) => break false,
+                        Ok(_) => {
+                            prop_assert_eq!(chunk.base_index, got.len() as u64);
+                            got.extend_from_slice(&chunk.accesses);
+                        }
+                        Err(e) => {
+                            prop_assert!(matches!(e, TraceError::Truncated));
+                            got.extend_from_slice(&chunk.accesses);
+                            break true;
+                        }
+                    }
+                };
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(bulk_err, scalar_err);
+                prop_assert_eq!(bulk.decoded(), scalar.decoded());
+            }
+        }
+
+        /// The chunk-API view of the reader (what `Machine::run`'s fast
+        /// path consumes) agrees with pure scalar consumption on valid
+        /// and truncated inputs alike.
+        #[test]
+        fn reader_chunk_api_matches_scalar(
+            records in prop::collection::vec((any::<u64>(), any::<bool>()), 0..64),
+            capacity in 1usize..40,
+            cut_back in 0usize..24,
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let full = to_bytes(&t);
+            let cut = full.len().saturating_sub(cut_back).max(20);
+            for raw in [full.clone(), full.slice(..cut.min(full.len()))] {
+                let Ok(mut scalar) = TraceReader::new(raw.clone()) else { continue };
+                let mut want = Vec::new();
+                while let Some(a) = scalar.next_access() {
+                    want.push(a);
+                }
+                let Ok(reader) = TraceReader::new(raw) else { continue };
+                let mut chunked = reader.with_chunk_capacity(capacity);
+                let mut got = Vec::new();
+                while let Some(run) = chunked.next_chunk() {
+                    prop_assert!(!run.is_empty());
+                    got.extend_from_slice(run);
+                    let n = run.len();
+                    chunked.consume_chunk(n);
+                }
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(chunked.error().is_some(), scalar.error().is_some());
+                prop_assert_eq!(chunked.decoded(), scalar.decoded());
+            }
         }
 
         /// Arbitrary garbage through the *stream* layer: header parsing

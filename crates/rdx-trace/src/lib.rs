@@ -20,7 +20,11 @@
 //! * [`io`] — a compact binary trace format (magic + version header,
 //!   delta-encoded addresses) for persisting traces, with a streaming
 //!   [`TraceReader`] and typed [`TraceError`]s: malformed input is a
-//!   recoverable error everywhere, never a panic.
+//!   recoverable error everywhere, never a panic. The reader is
+//!   chunk-capable: [`TraceReader::decode_chunk`] bulk-decodes a whole
+//!   bounded chunk per call, and [`PipelinedReader`] runs that decoder
+//!   on a dedicated thread (decode-ahead over a ring of recycled
+//!   buffers), so file-backed profiling feeds the machine fast path.
 //! * [`TraceStats`] — single-pass summary statistics of a stream.
 //!
 //! # Example
@@ -40,6 +44,7 @@
 mod chunk;
 mod event;
 pub mod io;
+mod pipeline;
 mod stats;
 mod stream;
 mod trace;
@@ -47,6 +52,7 @@ mod trace;
 pub use chunk::{Chunk, Chunked, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
 pub use io::{TraceError, TraceReader};
+pub use pipeline::{PipelineOptions, PipelinedReader};
 pub use stats::TraceStats;
 pub use stream::{AccessStream, FnStream, Opaque, Take};
 pub use trace::{Trace, TraceStream};

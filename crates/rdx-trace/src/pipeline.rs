@@ -1,0 +1,609 @@
+//! Decode-ahead pipelining: RDXT decoding on a dedicated thread.
+//!
+//! [`PipelinedReader`] moves the varint decode work of a [`TraceReader`]
+//! off the consumer's thread. A small ring of [`Chunk`] buffers
+//! circulates between the decoder thread and the consumer over a pair of
+//! bounded channels:
+//!
+//! ```text
+//!   consumer ── empty buffers ──▶ decoder thread
+//!      ▲                             │ TraceReader::decode_chunk
+//!      └──── decoded chunks ◀────────┘
+//! ```
+//!
+//! The ring bounds memory (at most `depth` chunks are ever in flight)
+//! and provides backpressure in both directions: the decoder blocks when
+//! the consumer falls behind (no recycled buffer available), the
+//! consumer blocks when the decoder falls behind (no decoded chunk
+//! available yet — counted as `rdx.trace.decode.stalls`).
+//!
+//! Error and panic semantics mirror the rest of the stack:
+//!
+//! * Corrupt input is recovered at chunk granularity exactly like
+//!   [`TraceReader`]: the decoded prefix of a bad chunk is still
+//!   delivered, then the stream ends with the typed [`TraceError`]
+//!   parked for [`PipelinedReader::error`] / [`finish`] to report.
+//! * A panic on the decoder thread is re-raised on the consumer thread
+//!   (like `profile_batch` re-raises worker panics in task order — there
+//!   is a single decode task, so "task order" is simply "as soon as the
+//!   consumer notices").
+
+use crate::chunk::{Chunk, DEFAULT_CHUNK_CAPACITY};
+use crate::event::Access;
+use crate::io::{TraceError, TraceReader};
+use crate::stream::AccessStream;
+use std::fmt;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::thread;
+
+/// Tuning knobs for [`PipelinedReader`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Accesses decoded per chunk buffer
+    /// (default [`DEFAULT_CHUNK_CAPACITY`], clamped to ≥ 1).
+    pub chunk_capacity: usize,
+    /// Chunk buffers circulating between decoder and consumer — the
+    /// decode-ahead depth (default 2 = double buffering, clamped to ≥ 2).
+    pub depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            depth: 2,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Sets the per-chunk access capacity.
+    #[must_use]
+    pub fn with_chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = capacity;
+        self
+    }
+
+    /// Sets the decode-ahead depth (number of ring buffers).
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+}
+
+/// What the decoder thread sends back to the consumer.
+enum Msg {
+    /// A decoded, non-empty chunk.
+    Chunk(Chunk),
+    /// The stream is over; `result` is [`TraceReader::finish`]'s verdict.
+    End(Result<(), TraceError>),
+}
+
+/// Decoder-thread main loop: recycle a buffer, fill it, ship it.
+fn run_decoder(
+    mut reader: TraceReader,
+    capacity: usize,
+    ring: Receiver<Chunk>,
+    out: SyncSender<Msg>,
+) {
+    loop {
+        // Blocking on a recycled buffer is the backpressure bound: with
+        // the consumer holding the rest of the ring, the decoder cannot
+        // run further than `depth` chunks ahead.
+        let Ok(mut chunk) = ring.recv() else {
+            return; // consumer hung up
+        };
+        match reader.decode_chunk(&mut chunk, capacity) {
+            Ok(0) => {
+                let _ = out.send(Msg::End(reader.finish()));
+                return;
+            }
+            Ok(_) => {
+                if out.send(Msg::Chunk(chunk)).is_err() {
+                    return; // consumer hung up
+                }
+            }
+            Err(_) => {
+                // Chunk-granularity recovery: the valid prefix still
+                // flows downstream, then the parked error is reported.
+                if !chunk.is_empty() && out.send(Msg::Chunk(chunk)).is_err() {
+                    return;
+                }
+                let _ = out.send(Msg::End(reader.finish()));
+                return;
+            }
+        }
+    }
+}
+
+/// A [`TraceReader`] whose decoding runs ahead on a dedicated thread.
+///
+/// Implements the full [`AccessStream`] chunk API
+/// (`next_chunk`/`consume_chunk`/`chunk_capable`), so `Machine::run`'s
+/// bulk scanner consumes it exactly like an in-memory stream while the
+/// next chunk decodes concurrently.
+///
+/// Dropping the reader mid-stream hangs up both channels and joins the
+/// decoder; a decoder panic is re-raised on the consumer thread by the
+/// first call that notices it (or by `drop`, unless already panicking).
+pub struct PipelinedReader {
+    name: String,
+    declared: u64,
+    ring: Option<SyncSender<Chunk>>,
+    data: Option<Receiver<Msg>>,
+    worker: Option<thread::JoinHandle<()>>,
+    current: Chunk,
+    pos: usize,
+    delivered: u64,
+    done: Option<Result<(), TraceError>>,
+}
+
+impl fmt::Debug for PipelinedReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedReader")
+            .field("name", &self.name)
+            .field("declared", &self.declared)
+            .field("delivered", &self.delivered)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one pull from the data channel.
+enum Pull {
+    Msg(Msg),
+    Dead,
+}
+
+impl PipelinedReader {
+    /// Pipelines `reader` with default [`PipelineOptions`].
+    #[must_use]
+    pub fn new(reader: TraceReader) -> Self {
+        Self::with_options(reader, PipelineOptions::default())
+    }
+
+    /// Pipelines `reader` with explicit options.
+    #[must_use]
+    pub fn with_options(reader: TraceReader, opts: PipelineOptions) -> Self {
+        let name = reader.name().to_owned();
+        let declared = reader.declared_len();
+        let capacity = opts.chunk_capacity.max(1);
+        let depth = opts.depth.max(2);
+        let (ring_tx, ring_rx) = sync_channel::<Chunk>(depth);
+        // `depth` in-flight chunks plus the final `End` message: sends
+        // on the data channel can never block, so `drop` cannot
+        // deadlock against a decoder stuck in `send`.
+        let (data_tx, data_rx) = sync_channel::<Msg>(depth + 1);
+        for _ in 0..depth {
+            let _ = ring_tx.send(Chunk::default());
+        }
+        let spawned = thread::Builder::new()
+            .name("rdxt-decode".into())
+            .spawn(move || run_decoder(reader, capacity, ring_rx, data_tx));
+        let (worker, done) = match spawned {
+            Ok(handle) => (Some(handle), None),
+            // Spawn failure (resource exhaustion): surface it as a
+            // typed error instead of panicking.
+            Err(e) => (None, Some(Err(TraceError::Io(e)))),
+        };
+        PipelinedReader {
+            name,
+            declared,
+            ring: Some(ring_tx),
+            data: Some(data_rx),
+            worker,
+            current: Chunk::default(),
+            pos: 0,
+            delivered: 0,
+            done,
+        }
+    }
+
+    /// The trace's embedded name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The record count declared in the trace header.
+    #[must_use]
+    pub fn declared_len(&self) -> u64 {
+        self.declared
+    }
+
+    /// Accesses handed to the consumer so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The decode error the stream ended with, if any. Only meaningful
+    /// once the stream has ended (`next_access`/`next_chunk` returned
+    /// `None`).
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceError> {
+        self.done.as_ref().and_then(|r| r.as_ref().err())
+    }
+
+    /// Accesses buffered in the current chunk, not yet handed out.
+    fn buffered(&self) -> usize {
+        self.current.len() - self.pos
+    }
+
+    /// Ensures the current chunk has unconsumed accesses; `false` once
+    /// the stream is over (clean EOF, decode error, or dead decoder).
+    fn advance(&mut self) -> bool {
+        loop {
+            if self.pos < self.current.len() {
+                return true;
+            }
+            if self.done.is_some() {
+                return false;
+            }
+            // Hand the drained buffer back to the decoder for reuse.
+            if self.current.accesses.capacity() > 0 {
+                let buf = std::mem::take(&mut self.current);
+                let recycled = self
+                    .ring
+                    .as_ref()
+                    .is_some_and(|ring| ring.try_send(buf).is_ok());
+                if recycled {
+                    rdx_metrics::counter("rdx.trace.decode.recycled_buffers").incr();
+                }
+            } else {
+                self.current = Chunk::default();
+            }
+            self.pos = 0;
+            let pull = match &self.data {
+                None => Pull::Dead,
+                Some(rx) => match rx.try_recv() {
+                    Ok(msg) => Pull::Msg(msg),
+                    Err(TryRecvError::Empty) => {
+                        // The decoder hasn't kept up; block for it.
+                        rdx_metrics::counter("rdx.trace.decode.stalls").incr();
+                        match rx.recv() {
+                            Ok(msg) => Pull::Msg(msg),
+                            Err(_) => Pull::Dead,
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => Pull::Dead,
+                },
+            };
+            match pull {
+                Pull::Msg(Msg::Chunk(chunk)) => {
+                    self.current = chunk;
+                    self.pos = 0;
+                }
+                Pull::Msg(Msg::End(result)) => {
+                    self.done = Some(result);
+                    self.hang_up();
+                }
+                Pull::Dead => self.reap_worker(),
+            }
+        }
+    }
+
+    /// Drops both channel ends so the decoder (if still alive) exits.
+    fn hang_up(&mut self) {
+        self.ring = None;
+        self.data = None;
+    }
+
+    /// The data channel died without an `End` message: the decoder
+    /// thread is gone. Re-raise its panic on this thread; a non-panic
+    /// exit without a verdict cannot happen in practice, but degrade to
+    /// a typed error rather than trusting that.
+    fn reap_worker(&mut self) {
+        self.hang_up();
+        if let Some(handle) = self.worker.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        if self.done.is_none() {
+            self.done = Some(Err(TraceError::Truncated));
+        }
+    }
+
+    /// Drains the rest of the stream and reports the decoder's verdict:
+    /// `Ok(())` only if the whole input decoded cleanly and exactly
+    /// (same contract as [`TraceReader::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// The [`TraceError`] the decode ended with, if any.
+    pub fn finish(mut self) -> Result<(), TraceError> {
+        while self.advance() {
+            let n = self.buffered();
+            self.consume_chunk(n);
+        }
+        match self.done.take() {
+            Some(result) => result,
+            None => Err(TraceError::Truncated),
+        }
+    }
+}
+
+impl AccessStream for PipelinedReader {
+    fn next_access(&mut self) -> Option<Access> {
+        if !self.advance() {
+            return None;
+        }
+        let access = self.current.accesses.get(self.pos).copied();
+        if access.is_some() {
+            self.pos += 1;
+            self.delivered += 1;
+        }
+        access
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        if self.done.is_some() {
+            return Some(self.buffered() as u64);
+        }
+        Some(self.declared.saturating_sub(self.delivered))
+    }
+
+    fn chunk_capable(&self) -> bool {
+        true
+    }
+
+    fn next_chunk(&mut self) -> Option<&[Access]> {
+        if !self.advance() {
+            return None;
+        }
+        self.current.accesses.get(self.pos..)
+    }
+
+    fn consume_chunk(&mut self, n: usize) {
+        debug_assert!(n <= self.buffered());
+        let taken = n.min(self.buffered());
+        self.pos += taken;
+        self.delivered += taken as u64;
+    }
+}
+
+impl Drop for PipelinedReader {
+    fn drop(&mut self) {
+        self.hang_up();
+        if let Some(handle) = self.worker.take() {
+            if let Err(payload) = handle.join() {
+                // Propagate a decoder panic from `drop` too, unless this
+                // thread is already unwinding (double panic aborts).
+                if !thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl PipelinedReader {
+    /// Test-only: a reader whose decoder thread panics immediately,
+    /// for pinning the panic-propagation contract.
+    fn with_poisoned_worker() -> Self {
+        let (ring_tx, ring_rx) = sync_channel::<Chunk>(1);
+        let (data_tx, data_rx) = sync_channel::<Msg>(1);
+        let worker = thread::Builder::new()
+            .name("rdxt-decode-poisoned".into())
+            .spawn(move || {
+                let _keep_alive = (ring_rx, data_tx);
+                panic!("injected decoder panic");
+            })
+            .expect("spawn test worker");
+        PipelinedReader {
+            name: "poisoned".into(),
+            declared: 1,
+            ring: Some(ring_tx),
+            data: Some(data_rx),
+            worker: Some(worker),
+            current: Chunk::default(),
+            pos: 0,
+            delivered: 0,
+            done: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::to_bytes;
+    use crate::trace::Trace;
+
+    fn reader_for(trace: &Trace) -> TraceReader {
+        TraceReader::new(to_bytes(trace)).expect("valid header")
+    }
+
+    #[test]
+    fn pipelined_matches_trace_exactly() {
+        let t = Trace::from_addresses("p", (0..10_000u64).map(|i| (i * 67) % 4096));
+        let opts = PipelineOptions::default().with_chunk_capacity(256);
+        let mut piped = PipelinedReader::with_options(reader_for(&t), opts);
+        assert!(piped.chunk_capable());
+        assert_eq!(piped.name(), "p");
+        assert_eq!(piped.declared_len(), 10_000);
+        let mut got = Vec::new();
+        while let Some(run) = piped.next_chunk() {
+            assert!(!run.is_empty());
+            got.extend_from_slice(run);
+            let n = run.len();
+            piped.consume_chunk(n);
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert_eq!(piped.delivered(), 10_000);
+        assert!(piped.error().is_none());
+        assert!(piped.finish().is_ok());
+    }
+
+    #[test]
+    fn pipelined_scalar_consumption_works() {
+        let t = Trace::from_addresses("s", (0..500u64).map(|i| i * 64));
+        let opts = PipelineOptions::default()
+            .with_chunk_capacity(64)
+            .with_depth(3);
+        let mut piped = PipelinedReader::with_options(reader_for(&t), opts);
+        let mut got = Vec::new();
+        while let Some(a) = piped.next_access() {
+            got.push(a);
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert!(piped.finish().is_ok());
+    }
+
+    #[test]
+    fn empty_trace_ends_immediately() {
+        let t = Trace::new("empty");
+        let mut piped = PipelinedReader::new(reader_for(&t));
+        assert!(piped.next_chunk().is_none());
+        assert!(piped.next_access().is_none());
+        assert_eq!(piped.remaining_hint(), Some(0));
+        assert!(piped.finish().is_ok());
+    }
+
+    #[test]
+    fn truncated_input_delivers_prefix_then_error() {
+        let t = Trace::from_addresses("cut", (0..1000u64).map(|i| i * 64));
+        let raw = to_bytes(&t);
+        let cut = raw.slice(..raw.len() - 9);
+        let reader = TraceReader::new(cut).expect("header intact");
+        let opts = PipelineOptions::default().with_chunk_capacity(128);
+        let mut piped = PipelinedReader::with_options(reader, opts);
+        let streamed = piped.count_remaining();
+        assert!(streamed < 1000, "must end early, got {streamed}");
+        assert!(matches!(piped.error(), Some(TraceError::Truncated)));
+        assert!(matches!(piped.finish(), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_data_reported_by_finish() {
+        let t = Trace::from_addresses("trail", [1u64, 2, 3]);
+        let mut raw = to_bytes(&t).to_vec();
+        raw.extend_from_slice(&[0x00, 0x00]);
+        let reader = TraceReader::new(raw).expect("header intact");
+        let mut piped = PipelinedReader::new(reader);
+        assert_eq!(piped.count_remaining(), 3);
+        assert!(matches!(piped.finish(), Err(TraceError::TrailingData(2))));
+    }
+
+    #[test]
+    fn finish_without_consuming_drains_decoder() {
+        let t = Trace::from_addresses("drain", (0..5000u64).map(|i| i * 8));
+        let piped = PipelinedReader::with_options(
+            reader_for(&t),
+            PipelineOptions::default().with_chunk_capacity(64),
+        );
+        assert!(piped.finish().is_ok());
+    }
+
+    #[test]
+    fn drop_mid_stream_does_not_hang() {
+        let t = Trace::from_addresses("drop", (0..50_000u64).map(|i| i * 8));
+        let opts = PipelineOptions::default()
+            .with_chunk_capacity(128)
+            .with_depth(2);
+        let mut piped = PipelinedReader::with_options(reader_for(&t), opts);
+        assert!(piped.next_access().is_some());
+        drop(piped); // decoder blocked on the ring must exit cleanly
+    }
+
+    #[test]
+    fn decoder_panic_is_reraised_on_consumer() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut piped = PipelinedReader::with_poisoned_worker();
+            let _ = piped.next_access();
+        })
+        .expect_err("decoder panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned());
+        assert_eq!(msg.as_deref(), Some("injected decoder panic"));
+    }
+
+    #[test]
+    fn depth_bounds_buffers_in_flight() {
+        // A depth-2 ring over a big trace: the consumer never sees more
+        // than the ring capacity ahead of what it consumed. (Indirect:
+        // the stream completes with bounded buffers and exact content.)
+        let t = Trace::from_addresses("bound", (0..40_000u64).map(|i| i * 16));
+        let opts = PipelineOptions::default()
+            .with_chunk_capacity(512)
+            .with_depth(2);
+        let mut piped = PipelinedReader::with_options(reader_for(&t), opts);
+        let mut max_run = 0usize;
+        let mut total = 0u64;
+        while let Some(run) = piped.next_chunk() {
+            max_run = max_run.max(run.len());
+            total += run.len() as u64;
+            let n = run.len();
+            piped.consume_chunk(n);
+        }
+        assert_eq!(total, 40_000);
+        assert!(max_run <= 512, "chunk capacity exceeded: {max_run}");
+        assert!(piped.finish().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::io::to_bytes;
+    use crate::trace::Trace;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Thread-spawning cases are costly; keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The pipelined reader produces the byte-for-byte same access
+        /// sequence — and on corrupt input the same first error after
+        /// the same delivered prefix — as the per-access `try_next`
+        /// loop, for arbitrary capacities, depths and truncations.
+        #[test]
+        fn pipelined_matches_try_next(
+            records in prop::collection::vec((any::<u64>(), any::<bool>()), 0..128),
+            capacity in 1usize..48,
+            depth in 2usize..5,
+            cut_back in 0usize..24,
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let full = to_bytes(&t);
+            let cut = full.len().saturating_sub(cut_back).max(20);
+            for raw in [full.clone(), full.slice(..cut.min(full.len()))] {
+                let Ok(mut scalar) = TraceReader::new(raw.clone()) else { continue };
+                let mut want = Vec::new();
+                while let Some(a) = scalar.next_access() {
+                    want.push(a);
+                }
+                let Ok(reader) = TraceReader::new(raw) else { continue };
+                let opts = PipelineOptions::default()
+                    .with_chunk_capacity(capacity)
+                    .with_depth(depth);
+                let mut piped = PipelinedReader::with_options(reader, opts);
+                let mut got = Vec::new();
+                while let Some(run) = piped.next_chunk() {
+                    prop_assert!(!run.is_empty());
+                    got.extend_from_slice(run);
+                    let n = run.len();
+                    piped.consume_chunk(n);
+                }
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(piped.delivered(), scalar.decoded());
+                match scalar.error() {
+                    None => prop_assert!(piped.error().is_none()),
+                    Some(TraceError::Truncated) => prop_assert!(
+                        matches!(piped.error(), Some(TraceError::Truncated))
+                    ),
+                    Some(other) => prop_assert!(false, "unexpected scalar error {other}"),
+                }
+                let scalar_finish = scalar.finish();
+                let piped_finish = piped.finish();
+                prop_assert_eq!(scalar_finish.is_ok(), piped_finish.is_ok());
+            }
+        }
+    }
+}

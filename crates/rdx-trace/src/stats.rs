@@ -2,7 +2,7 @@
 
 use crate::event::Granularity;
 use crate::stream::AccessStream;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Summary statistics of an access stream, computed in one pass.
 ///
@@ -35,7 +35,9 @@ impl TraceStats {
             min_addr: u64::MAX,
             max_addr: 0,
         };
-        let mut blocks: HashSet<u64> = HashSet::new();
+        // Ordered set: bounded by the footprint like a hash set, but
+        // deterministic (rdx-trace is a hot crate — no SipHash).
+        let mut blocks: BTreeSet<u64> = BTreeSet::new();
         while let Some(a) = stream.next_access() {
             stats.accesses += 1;
             if a.kind.is_store() {

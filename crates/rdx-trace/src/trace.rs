@@ -34,13 +34,22 @@ impl Trace {
         }
     }
 
+    /// Accesses pre-reserved from a stream's `remaining_hint` before the
+    /// `Vec` falls back to growth-by-doubling. A corrupt trace header can
+    /// declare up to `u64::MAX` records; trusting that hint verbatim
+    /// would abort in the allocator, so cap the up-front reservation
+    /// (16Mi accesses = 256 MiB) and let honest oversized streams grow
+    /// normally from there.
+    const MAX_HINT_RESERVE: usize = 1 << 24;
+
     /// Materializes a stream into a trace.
     #[must_use]
     pub fn from_stream(name: impl Into<String>, mut stream: impl AccessStream) -> Self {
         let mut accesses = Vec::with_capacity(
             stream
                 .remaining_hint()
-                .map_or(0, |h| usize::try_from(h).unwrap_or(0)),
+                .map_or(0, |h| usize::try_from(h).unwrap_or(usize::MAX))
+                .min(Self::MAX_HINT_RESERVE),
         );
         while let Some(a) = stream.next_access() {
             accesses.push(a);
@@ -98,12 +107,16 @@ impl Trace {
     /// (0 = byte granularity). Mostly used by trace statistics and tests.
     #[must_use]
     pub fn distinct_blocks(&self, shift: u32) -> u64 {
-        let mut set: std::collections::HashSet<u64> =
-            std::collections::HashSet::with_capacity(self.accesses.len().min(1 << 20));
-        for a in &self.accesses {
-            set.insert(a.addr.raw() >> shift);
-        }
-        set.len() as u64
+        // Sort + dedup instead of a hash set: deterministic and free of
+        // SipHash's per-process seed (rdx-trace is a hot crate).
+        let mut blocks: Vec<u64> = self
+            .accesses
+            .iter()
+            .map(|a| a.addr.raw() >> shift)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks.len() as u64
     }
 }
 
