@@ -12,6 +12,13 @@
 //!           [--pipelined|--no-pipelined] [--decode-buffer N]
 //!           [--decode-ahead N]
 //! rdx trace <file> [--decode-buffer N] [--metrics]
+//! rdx serve --listen <addr|socket-path> [--max-conns N]
+//!           [--max-session-bytes N]
+//! rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N]
+//!            [--elements N] [--period N] [--seed N] [--registers N]
+//!            [--chunk-bytes N] [--crosscheck] [--metrics]
+//!            [--pipelined|--no-pipelined] [--decode-buffer N]
+//!            [--decode-ahead N]
 //! ```
 //!
 //! `profile` accepts either a registry workload name or a path to a
@@ -21,6 +28,17 @@
 //! (`--no-pipelined` decodes in bulk on the profiling thread;
 //! `--decode-buffer`/`--decode-ahead` size the chunk and the buffer
 //! ring).
+//!
+//! `serve` runs the long-lived framed profiling daemon from
+//! `rdx-server`; `client` streams a workload or trace file to such a
+//! daemon in `--chunk-bytes`-sized pieces and prints the profile the
+//! server measured. `--crosscheck` additionally profiles the same bytes
+//! locally and fails unless the two profiles are bit-identical.
+//!
+//! Numeric flags are validated at parse time against
+//! `rdx_core::limits` — `--period 0` or `--registers 7` is a flag
+//! error, not a silently adjusted experiment — and the server applies
+//! the same checks to session options arriving over the wire.
 //!
 //! `--jobs N` parallelizes: `suite` fans workloads over `N` profiler
 //! threads (deterministic, same output as `--jobs 1`), and `profile
@@ -37,7 +55,7 @@
 
 use rdx_core::{
     load_rdxt, profile_batch, profile_rdxt_batch, BatchTask, IngestOptions, RdxConfig, RdxProfile,
-    RdxRunner,
+    RdxRunner, RdxtInput,
 };
 use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;
@@ -54,7 +72,12 @@ fn usage() -> ExitCode {
          [--decode-buffer N] [--decode-ahead N]\n  rdx suite [file.rdxt ...] [--accesses N] \
          [--elements N] [--period N] [--seed N]\n            [--jobs N] [--csv] [--metrics] \
          [--pipelined|--no-pipelined]\n            [--decode-buffer N] [--decode-ahead N]\n  \
-         rdx trace <file> [--decode-buffer N] [--metrics]"
+         rdx trace <file> [--decode-buffer N] [--metrics]\n  \
+         rdx serve --listen <addr|socket-path> [--max-conns N] [--max-session-bytes N]\n  \
+         rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N] [--elements N]\n             \
+         [--period N] [--seed N] [--registers N] [--chunk-bytes N]\n             \
+         [--crosscheck] [--metrics] [--pipelined|--no-pipelined]\n             \
+         [--decode-buffer N] [--decode-ahead N]"
     );
     ExitCode::FAILURE
 }
@@ -72,6 +95,8 @@ fn main() -> ExitCode {
         Some("profile") => profile(&args[1..]),
         Some("suite") => suite_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -87,12 +112,14 @@ struct Opts {
     jobs: Option<u64>,
     decode_buffer: Option<u64>,
     decode_ahead: Option<u64>,
+    chunk_bytes: Option<u64>,
     exact: bool,
     mrc: bool,
     csv: bool,
     metrics: bool,
     pipelined: bool,
     no_pipelined: bool,
+    crosscheck: bool,
 }
 
 impl Opts {
@@ -108,13 +135,15 @@ impl Opts {
                 return Err(format!("unknown flag '{flag}'"));
             }
             match flag {
-                "--exact" | "--mrc" | "--csv" | "--metrics" | "--pipelined" | "--no-pipelined" => {
+                "--exact" | "--mrc" | "--csv" | "--metrics" | "--pipelined" | "--no-pipelined"
+                | "--crosscheck" => {
                     let slot = match flag {
                         "--exact" => &mut opts.exact,
                         "--mrc" => &mut opts.mrc,
                         "--metrics" => &mut opts.metrics,
                         "--pipelined" => &mut opts.pipelined,
                         "--no-pipelined" => &mut opts.no_pipelined,
+                        "--crosscheck" => &mut opts.crosscheck,
                         _ => &mut opts.csv,
                     };
                     if *slot {
@@ -132,6 +161,7 @@ impl Opts {
                         "--jobs" => &mut opts.jobs,
                         "--decode-buffer" => &mut opts.decode_buffer,
                         "--decode-ahead" => &mut opts.decode_ahead,
+                        "--chunk-bytes" => &mut opts.chunk_bytes,
                         _ => unreachable!("allowed flags are handled above"),
                     };
                     if slot.is_some() {
@@ -149,7 +179,38 @@ impl Opts {
         if opts.pipelined && opts.no_pipelined {
             return Err("'--pipelined' conflicts with '--no-pipelined'".to_string());
         }
+        opts.validate()?;
         Ok(opts)
+    }
+
+    /// Bounds-checks every numeric flag against `rdx_core::limits` at
+    /// parse time, so `--period 0` or `--registers 7` is a flag error
+    /// here rather than a silently clamped experiment downstream. The
+    /// server applies the same checks to options arriving over the wire.
+    fn validate(&self) -> Result<(), String> {
+        use rdx_core::limits::{
+            check_decode_ahead, check_decode_buffer, check_jobs, check_period, check_registers,
+        };
+        let err = |e: rdx_core::LimitError| format!("--{e}");
+        if let Some(v) = self.period {
+            check_period(v).map_err(err)?;
+        }
+        if let Some(v) = self.registers {
+            check_registers(usize::try_from(v).unwrap_or(usize::MAX)).map_err(err)?;
+        }
+        if let Some(v) = self.jobs {
+            check_jobs(usize::try_from(v).unwrap_or(usize::MAX)).map_err(err)?;
+        }
+        if let Some(v) = self.decode_buffer {
+            check_decode_buffer(usize::try_from(v).unwrap_or(usize::MAX)).map_err(err)?;
+        }
+        if let Some(v) = self.decode_ahead {
+            check_decode_ahead(usize::try_from(v).unwrap_or(usize::MAX)).map_err(err)?;
+        }
+        if self.chunk_bytes == Some(0) {
+            return Err("--chunk-bytes must be at least 1 (got 0)".to_string());
+        }
+        Ok(())
     }
 
     fn params(&self) -> Params {
@@ -246,6 +307,21 @@ const SUITE_FLAGS: &[&str] = &[
 ];
 
 const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--metrics"];
+
+const CLIENT_FLAGS: &[&str] = &[
+    "--accesses",
+    "--elements",
+    "--seed",
+    "--period",
+    "--registers",
+    "--chunk-bytes",
+    "--decode-buffer",
+    "--decode-ahead",
+    "--crosscheck",
+    "--metrics",
+    "--pipelined",
+    "--no-pipelined",
+];
 
 fn profile(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
@@ -859,6 +935,239 @@ fn emit_trace_metrics(decoded: u64) -> ExitCode {
     }
 }
 
+/// Runs the long-lived framed profiling daemon. `--listen` takes a TCP
+/// address (`127.0.0.1:7979`, port 0 picks one) or a Unix socket path;
+/// the resolved address is printed (and flushed) before serving so
+/// scripts can capture it. With `--max-conns N` the server exits
+/// cleanly after serving N connections.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut max_conns: Option<u64> = None;
+    let mut max_session_bytes: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let flag = arg.as_str();
+        let slot = match flag {
+            "--listen" => {
+                if listen.is_some() {
+                    eprintln!("error: duplicate flag '--listen'");
+                    return ExitCode::FAILURE;
+                }
+                let Some(value) = it.next() else {
+                    eprintln!("error: --listen needs a value");
+                    return ExitCode::FAILURE;
+                };
+                listen = Some(value.clone());
+                continue;
+            }
+            "--max-conns" => &mut max_conns,
+            "--max-session-bytes" => &mut max_session_bytes,
+            _ => {
+                eprintln!("error: unknown flag '{flag}'");
+                return ExitCode::FAILURE;
+            }
+        };
+        if slot.is_some() {
+            eprintln!("error: duplicate flag '{flag}'");
+            return ExitCode::FAILURE;
+        }
+        let value = match it.next().map(|v| v.parse::<u64>()) {
+            Some(Ok(v)) if v > 0 => v,
+            Some(Ok(v)) => {
+                eprintln!("error: {flag} must be at least 1 (got {v})");
+                return ExitCode::FAILURE;
+            }
+            Some(Err(e)) => {
+                eprintln!("error: {flag}: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("error: {flag} needs a value");
+                return ExitCode::FAILURE;
+            }
+        };
+        *slot = Some(value);
+    }
+    let Some(spec) = listen else {
+        eprintln!("error: serve requires --listen <addr|socket-path>");
+        return usage();
+    };
+    let mut server_opts = rdx_server::ServerOptions::default();
+    if let Some(n) = max_conns {
+        server_opts = server_opts.with_max_connections(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    if let Some(n) = max_session_bytes {
+        server_opts = server_opts.with_max_session_bytes(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    let mut handle = match rdx_server::Server::bind(&rdx_server::Listen::parse(&spec), server_opts)
+    {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot listen on '{spec}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flushed immediately: scripts (and CI) parse the resolved address
+    // from this line while the server keeps running.
+    println!("rdx-server listening on {}", handle.listen());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("rdx-server exiting (connection budget served)");
+    ExitCode::SUCCESS
+}
+
+/// Streams a workload or RDXT trace file to a running server and prints
+/// the profile the server measured, plus its registry-golden digest.
+/// With `--crosscheck` the same bytes are also profiled locally and the
+/// two profiles must be bit-identical.
+fn client_cmd(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(target)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    if addr.starts_with("--") || target.starts_with("--") {
+        return usage();
+    }
+    let opts = match Opts::parse(&args[2..], CLIENT_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The bytes to stream: a generated registry workload serialized to
+    // RDXT, or a trace file read verbatim.
+    let (label, bytes) = if let Some(w) = by_name(target) {
+        let params = opts.params();
+        let trace = rdx_trace::Trace::from_stream(w.name, w.stream(&params));
+        (w.name.to_string(), rdx_trace::io::to_bytes(&trace).to_vec())
+    } else if std::path::Path::new(target).exists() {
+        for (flag, given) in [
+            ("--accesses", opts.accesses.is_some()),
+            ("--elements", opts.elements.is_some()),
+        ] {
+            if given {
+                eprintln!(
+                    "error: {flag} applies to generated workloads; '{target}' is a trace file"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        match std::fs::read(target) {
+            Ok(b) => (target.clone(), b),
+            Err(e) => {
+                eprintln!("error: cannot read '{target}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("unknown workload '{target}' and no such trace file; try `rdx list`");
+        return ExitCode::FAILURE;
+    };
+
+    let mut sopts = rdx_server::SessionOptions::default();
+    if let Some(v) = opts.period {
+        sopts.period = v;
+    }
+    if let Some(v) = opts.seed {
+        sopts.seed = v;
+    }
+    if let Some(v) = opts.registers {
+        sopts.registers = u32::try_from(v).unwrap_or(u32::MAX);
+    }
+    sopts.pipelined = !opts.no_pipelined;
+    if let Some(v) = opts.decode_buffer {
+        sopts.chunk_capacity = v;
+    }
+    if let Some(v) = opts.decode_ahead {
+        sopts.decode_ahead = v;
+    }
+    let chunk_bytes = usize::try_from(opts.chunk_bytes.unwrap_or(64 << 10)).unwrap_or(usize::MAX);
+
+    let listen = rdx_server::Listen::parse(addr);
+    let served = (|| -> Result<_, rdx_server::ClientError> {
+        let mut client = rdx_server::Client::connect(&listen)?;
+        let session = client.open_session(&label, sopts)?;
+        for chunk in bytes.chunks(chunk_bytes) {
+            client.send_chunk(session, chunk)?;
+        }
+        let flush = client.flush(session)?;
+        let metrics = if opts.metrics {
+            Some(client.snapshot_metrics(session)?)
+        } else {
+            None
+        };
+        let close = client.close_session(session)?;
+        Ok((flush, metrics, close))
+    })();
+    let (flush, metrics, close) = match served {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut digest = rdx_server::Fnv64::new();
+    close.profile.fold_into(&mut digest);
+    println!("session         : {label}");
+    println!("server          : {listen}");
+    println!(
+        "sent            : {} B in {} chunk(s) of ≤{chunk_bytes} B",
+        bytes.len(),
+        bytes.len().div_ceil(chunk_bytes.max(1))
+    );
+    println!(
+        "ingested        : {} B, {} records",
+        flush.received_bytes, flush.records
+    );
+    println!("accesses        : {}", close.profile.accesses);
+    println!(
+        "samples/traps   : {} / {}",
+        close.profile.samples, close.profile.traps
+    );
+    println!("est. blocks     : {:.0}", close.profile.m_estimate);
+    println!("clean decode    : {}", close.clean);
+    println!("profile digest  : {:#018x}", digest.value());
+    if let Some(m) = &metrics {
+        println!("\nserver metrics registry:");
+        println!("{}", m.registry_json);
+    }
+    let mut code = if close.clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: server reported an unclean decode");
+        ExitCode::FAILURE
+    };
+
+    if opts.crosscheck {
+        // Profile the identical bytes locally with the identical
+        // options; the server's answer must match bit for bit.
+        let input = match RdxtInput::from_bytes(label.clone(), bytes) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("error: crosscheck cannot decode local bytes: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (local, _verdict) = RdxRunner::new(sopts.config()).profile_rdxt(input, &sopts.ingest());
+        let mut local_digest = rdx_server::Fnv64::new();
+        rdx_server::ProfileSnapshot::from_profile(&local).fold_into(&mut local_digest);
+        if local_digest.value() == digest.value() {
+            println!("crosscheck      : PASS (local digest matches)");
+        } else {
+            eprintln!(
+                "error: crosscheck FAILED — local digest {:#018x} != server digest {:#018x}",
+                local_digest.value(),
+                digest.value()
+            );
+            code = ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
 fn print_histogram(h: &Histogram, csv: bool) {
     let n = h.normalized();
     let sep = if csv { "," } else { "  " };
@@ -1124,6 +1433,99 @@ mod tests {
         let _ = std::fs::remove_file(a);
         let _ = std::fs::remove_file(b);
         let _ = std::fs::remove_file(cut);
+    }
+
+    #[test]
+    fn numeric_flags_validated_at_parse_time() {
+        for (args, needle) in [
+            (
+                &["--period", "0"][..],
+                "--period must be at least 1 (got 0)",
+            ),
+            (
+                &["--registers", "0"][..],
+                "--registers must be between 1 and 4 (got 0)",
+            ),
+            (
+                &["--registers", "7"][..],
+                "--registers must be between 1 and 4 (got 7)",
+            ),
+            (&["--jobs", "0"][..], "--jobs must be at least 1 (got 0)"),
+            (
+                &["--decode-buffer", "0"][..],
+                "--decode-buffer must be at least 1 (got 0)",
+            ),
+            (
+                &["--decode-ahead", "1"][..],
+                "--decode-ahead must be at least 2 (got 1)",
+            ),
+            (
+                &["--decode-ahead", "0"][..],
+                "--decode-ahead must be at least 2 (got 0)",
+            ),
+        ] {
+            let err = Opts::parse(&to_args(args), PROFILE_FLAGS).unwrap_err();
+            assert_eq!(err, needle);
+        }
+        let err = Opts::parse(&to_args(&["--chunk-bytes", "0"]), CLIENT_FLAGS).unwrap_err();
+        assert_eq!(err, "--chunk-bytes must be at least 1 (got 0)");
+        // In-range values still parse.
+        let opts = Opts::parse(
+            &to_args(&["--period", "1", "--registers", "4", "--decode-ahead", "2"]),
+            PROFILE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.period, Some(1));
+        assert_eq!(opts.registers, Some(4));
+    }
+
+    #[test]
+    fn client_streams_to_server_and_crosschecks() {
+        let _guard = metrics_guard();
+        let handle = rdx_server::Server::bind(
+            &rdx_server::Listen::parse("127.0.0.1:0"),
+            rdx_server::ServerOptions::default(),
+        )
+        .unwrap();
+        let addr = handle.listen().to_string();
+        // Generated workload, odd chunk size, crosscheck against the
+        // local profiling path: the digests must agree bit for bit.
+        let code = client_cmd(&to_args(&[
+            &addr,
+            "zipf",
+            "--accesses",
+            "20000",
+            "--elements",
+            "400",
+            "--period",
+            "512",
+            "--seed",
+            "7",
+            "--chunk-bytes",
+            "9973",
+            "--crosscheck",
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        // A trace file streams and crosschecks too.
+        let (path, _) = write_sample_trace("client-file", 10_000);
+        let code = client_cmd(&to_args(&[
+            &addr,
+            &path.display().to_string(),
+            "--crosscheck",
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn client_rejects_bad_targets_and_dead_servers() {
+        // Unknown workload/file never even connects.
+        let code = client_cmd(&to_args(&["127.0.0.1:1", "no-such-workload"]));
+        assert_eq!(code, ExitCode::FAILURE);
+        // A server that isn't there is an error, not a hang or panic.
+        let code = client_cmd(&to_args(&["127.0.0.1:9", "zipf", "--accesses", "100"]));
+        assert_eq!(code, ExitCode::FAILURE);
     }
 
     #[test]

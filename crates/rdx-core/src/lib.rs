@@ -55,6 +55,7 @@ mod config;
 pub mod convert;
 pub mod ingest;
 pub mod km;
+pub mod limits;
 mod profiler;
 mod report;
 mod runner;
@@ -66,6 +67,7 @@ pub use convert::WeightedFootprint;
 pub use ingest::{
     load_rdxt, profile_rdxt_batch, IngestError, IngestOptions, RdxtInput, RdxtReport, RdxtStream,
 };
+pub use limits::LimitError;
 pub use profiler::RdxProfiler;
 pub use report::RdxProfile;
 pub use runner::RdxRunner;

@@ -43,7 +43,8 @@ impl LintConfig {
     /// Layering (lower layers must not import higher ones):
     ///
     /// ```text
-    /// 5  rdx-cli   rdx-bench   rdx-lint
+    /// 6  rdx-cli
+    /// 5  rdx-server  rdx-bench   rdx-lint
     /// 4  rdx-core  rdx-baselines
     /// 3  rdx-groundtruth  rdx-cache
     /// 2  memsim    rdx-workloads
@@ -59,6 +60,7 @@ impl LintConfig {
                 "rdx-groundtruth",
                 "rdx-baselines",
                 "rdx-trace",
+                "rdx-server",
             ]),
             clock_exempt_crates: strings(&["rdx-bench", "rdx-metrics"]),
             hot_path_files: [
@@ -72,6 +74,10 @@ impl LintConfig {
                 ("rdx-trace", "stream.rs"),
                 ("rdx-trace", "chunk.rs"),
                 ("rdx-trace", "pipeline.rs"),
+                ("rdx-trace", "frame.rs"),
+                ("rdx-server", "protocol.rs"),
+                ("rdx-server", "session.rs"),
+                ("rdx-server", "server.rs"),
             ]
             .iter()
             .map(|&(c, f)| (c.to_string(), f.to_string()))
@@ -86,7 +92,8 @@ impl LintConfig {
                 ("rdx-cache", 3),
                 ("rdx-core", 4),
                 ("rdx-baselines", 4),
-                ("rdx-cli", 5),
+                ("rdx-server", 5),
+                ("rdx-cli", 6),
                 ("rdx-bench", 5),
                 ("rdx-lint", 5),
             ]

@@ -1,0 +1,249 @@
+//! Per-session worker: owns one RDXT byte stream and answers profile
+//! questions about it.
+//!
+//! A session accumulates the exact bytes the client sent (bounded by
+//! the server's per-session budget) and validates them eagerly — the
+//! header through [`TraceReader::new`] as soon as enough bytes arrive,
+//! the record stream incrementally through [`RecordScanner`] — so a
+//! malformed stream is reported at the offending chunk, not at close.
+//! Snapshot and close answers re-profile the accumulated bytes through
+//! the exact same `RdxtInput` → `profile_rdxt` machinery the local
+//! file-backed path uses, which is what makes server-side profiles
+//! bit-identical to local ones.
+//!
+//! The worker is driven by a bounded command channel; the connection
+//! reader blocks when it fills, which propagates backpressure to the
+//! client's socket. Replies go to the connection's writer channel, also
+//! bounded. Dropping the command sender tears the worker down.
+
+use crate::protocol::{ErrorCode, ProfileSnapshot, ServerMessage, SessionOptions};
+use bytes::Bytes;
+use rdx_core::{RdxRunner, RdxtInput};
+use rdx_trace::io::RecordScanner;
+use rdx_trace::{TraceError, TraceReader};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// Fixed-width part of the RDXT header: magic, version, name length,
+/// record count. The full header is this plus the name bytes.
+const HEADER_FIXED: usize = 4 + 4 + 4 + 8;
+
+/// Commands the connection reader forwards to a session worker.
+#[derive(Debug)]
+pub(crate) enum SessionCmd {
+    /// More trace bytes.
+    Chunk(Bytes),
+    /// Acknowledge ingestion of everything sent so far.
+    Flush,
+    /// Profile the bytes so far and reply with histograms.
+    SnapshotHistogram,
+    /// Reply with session counters and the metrics registry.
+    SnapshotMetrics,
+    /// Final profile, then terminate.
+    Close,
+}
+
+/// One session's state, run on a dedicated thread.
+pub(crate) struct SessionWorker {
+    pub(crate) id: u32,
+    pub(crate) name: String,
+    pub(crate) opts: SessionOptions,
+    /// Encoded reply frames, towards the connection's writer thread.
+    pub(crate) out: SyncSender<Bytes>,
+    /// Per-session byte budget; exceeding it fails the session.
+    pub(crate) max_bytes: usize,
+}
+
+/// Incremental validation state of the byte stream.
+enum Scan {
+    /// Header not yet complete.
+    AwaitingHeader,
+    /// Header parsed (records start at `header_end`); scanning records.
+    Records {
+        header_end: usize,
+        scanner: RecordScanner,
+    },
+}
+
+impl SessionWorker {
+    pub(crate) fn run(self, rx: &Receiver<SessionCmd>) {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut scan = Scan::AwaitingHeader;
+        let mut failure: Option<ErrorCode> = None;
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                SessionCmd::Chunk(bytes) => {
+                    if failure.is_some() {
+                        // The error was already reported; drain quietly.
+                        continue;
+                    }
+                    if let Err(code) = self.ingest(&mut buf, &mut scan, &bytes) {
+                        failure = Some(code);
+                        buf = Vec::new();
+                    }
+                }
+                SessionCmd::Flush => {
+                    if let Some(code) = failure {
+                        self.send_failed(code);
+                    } else {
+                        self.send(&ServerMessage::Flushed {
+                            session: self.id,
+                            received_bytes: buf.len() as u64,
+                            records: records_so_far(&scan),
+                        });
+                    }
+                }
+                SessionCmd::SnapshotHistogram => {
+                    if let Some(code) = failure {
+                        self.send_failed(code);
+                    } else {
+                        match self.profile(&buf, &scan) {
+                            Some((profile, _clean)) => {
+                                rdx_metrics::counter("rdx.server.snapshots").incr();
+                                self.send(&ServerMessage::Histogram {
+                                    session: self.id,
+                                    profile,
+                                });
+                            }
+                            None => self.send_error(
+                                ErrorCode::NotReady,
+                                "no complete trace header received yet",
+                            ),
+                        }
+                    }
+                }
+                SessionCmd::SnapshotMetrics => {
+                    if let Some(code) = failure {
+                        self.send_failed(code);
+                    } else {
+                        self.send(&ServerMessage::Metrics {
+                            session: self.id,
+                            received_bytes: buf.len() as u64,
+                            records: records_so_far(&scan),
+                            registry_json: rdx_metrics::snapshot().to_json(),
+                        });
+                    }
+                }
+                SessionCmd::Close => {
+                    let (clean, profile) = if failure.is_some() {
+                        (false, ProfileSnapshot::default())
+                    } else {
+                        match self.profile(&buf, &scan) {
+                            Some((profile, clean)) => (clean, profile),
+                            None => (false, ProfileSnapshot::default()),
+                        }
+                    };
+                    self.send(&ServerMessage::SessionClosed {
+                        session: self.id,
+                        clean,
+                        profile,
+                    });
+                    break;
+                }
+            }
+        }
+        // Reached on Close and on command-channel disconnect (the
+        // connection went away); either way the session is over.
+        rdx_metrics::counter("rdx.server.sessions_closed").incr();
+    }
+
+    /// Appends a chunk, keeping header/record validation current.
+    /// Returns the failure class on budget overflow or corruption (the
+    /// error frame is sent here, with the trace-level detail).
+    fn ingest(&self, buf: &mut Vec<u8>, scan: &mut Scan, bytes: &[u8]) -> Result<(), ErrorCode> {
+        if buf.len().saturating_add(bytes.len()) > self.max_bytes {
+            self.send_error(
+                ErrorCode::Overflow,
+                &format!("session exceeds {} buffered bytes", self.max_bytes),
+            );
+            return Err(ErrorCode::Overflow);
+        }
+        rdx_metrics::counter("rdx.server.chunk_bytes").add(bytes.len() as u64);
+        let scanned_to = buf.len();
+        buf.extend_from_slice(bytes);
+        if let Scan::AwaitingHeader = scan {
+            if buf.len() < HEADER_FIXED {
+                return Ok(()); // not even a fixed header yet
+            }
+            match TraceReader::new(Bytes::from(buf.clone())) {
+                Ok(reader) => {
+                    let header_end = HEADER_FIXED + reader.name().len();
+                    let mut scanner = RecordScanner::new();
+                    if let Err(e) = scanner.scan(&buf[header_end..]) {
+                        self.send_trace_error(&e);
+                        return Err(ErrorCode::MalformedTrace);
+                    }
+                    *scan = Scan::Records {
+                        header_end,
+                        scanner,
+                    };
+                }
+                // A short name field just needs more bytes.
+                Err(TraceError::Truncated) => {}
+                Err(e) => {
+                    self.send_trace_error(&e);
+                    return Err(ErrorCode::MalformedTrace);
+                }
+            }
+            return Ok(());
+        }
+        if let Scan::Records {
+            header_end,
+            scanner,
+        } = scan
+        {
+            let from = scanned_to.max(*header_end);
+            if let Err(e) = scanner.scan(&buf[from..]) {
+                self.send_trace_error(&e);
+                return Err(ErrorCode::MalformedTrace);
+            }
+        }
+        Ok(())
+    }
+
+    /// Profiles the accumulated bytes through the local file-backed
+    /// machinery. `None` until a complete header has arrived. The bool
+    /// is the clean-decode verdict (all declared records, no trailing
+    /// data, no corruption).
+    fn profile(&self, buf: &[u8], scan: &Scan) -> Option<(ProfileSnapshot, bool)> {
+        if let Scan::AwaitingHeader = scan {
+            return None;
+        }
+        let input = RdxtInput::from_bytes(self.name.clone(), Bytes::from(buf.to_vec())).ok()?;
+        let runner = RdxRunner::new(self.opts.config());
+        let (profile, verdict) = runner.profile_rdxt(input, &self.opts.ingest());
+        Some((ProfileSnapshot::from_profile(&profile), verdict.is_ok()))
+    }
+
+    fn send(&self, msg: &ServerMessage) {
+        if let Ok(payload) = msg.encode() {
+            let _ = self.out.send(payload);
+        }
+    }
+
+    fn send_error(&self, code: ErrorCode, message: &str) {
+        rdx_metrics::counter("rdx.server.errors").incr();
+        self.send(&ServerMessage::Error {
+            session: self.id,
+            code,
+            message: message.to_string(),
+        });
+    }
+
+    fn send_trace_error(&self, e: &TraceError) {
+        self.send_error(ErrorCode::MalformedTrace, &e.to_string());
+    }
+
+    /// Replies to a command arriving after the session already failed:
+    /// the original class, so clients correlate follow-ups with the
+    /// first report.
+    fn send_failed(&self, code: ErrorCode) {
+        self.send_error(code, "session already failed; close it");
+    }
+}
+
+fn records_so_far(scan: &Scan) -> u64 {
+    match scan {
+        Scan::AwaitingHeader => 0,
+        Scan::Records { scanner, .. } => scanner.records(),
+    }
+}

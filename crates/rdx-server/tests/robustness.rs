@@ -1,0 +1,222 @@
+//! Fuzz-style properties for the server loop: arbitrary junk frames,
+//! arbitrary chunk boundaries, and disconnects at arbitrary points
+//! must never wedge the server or corrupt a neighboring session.
+//!
+//! These drive the server through raw sockets (below the [`Client`]
+//! convenience layer) so they can violate the protocol on purpose.
+
+use proptest::prelude::*;
+use rdx_server::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use rdx_server::{
+    Client, ErrorCode, Fnv64, Listen, Server, ServerHandle, ServerOptions, SessionOptions,
+};
+use rdx_trace::frame::{read_frame, write_frame};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Raw sockets in these tests always carry a read timeout: a property
+/// here is precisely "the server answers or hangs up — it never
+/// leaves a peer hanging", and a timeout converts a hang into a
+/// failure instead of a stuck test run.
+const RAW_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn start_server() -> ServerHandle {
+    Server::bind(&Listen::parse("127.0.0.1:0"), ServerOptions::default()).expect("bind loopback")
+}
+
+fn raw_connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.listen().to_string()).expect("connect");
+    stream
+        .set_read_timeout(Some(RAW_TIMEOUT))
+        .expect("set timeout");
+    stream
+}
+
+fn handshake(stream: &mut TcpStream) {
+    let hello = ClientMessage::Hello {
+        version: PROTOCOL_VERSION,
+    }
+    .encode()
+    .expect("encode");
+    write_frame(stream, &hello).expect("write hello");
+    stream.flush().expect("flush");
+    let ack = read_frame(stream).expect("read").expect("ack frame");
+    assert!(matches!(
+        ServerMessage::decode(ack).expect("decode"),
+        ServerMessage::HelloAck { .. }
+    ));
+}
+
+/// One small, known-good trace: a 4-workload-access zipf-free synthetic
+/// stream the profiler decodes cleanly. Used to prove the server still
+/// works after abuse.
+fn tiny_trace() -> Vec<u8> {
+    let trace = rdx_trace::Trace::from_addresses("tiny", (0u64..512).map(|i| (i % 64) * 64));
+    rdx_trace::io::to_bytes(&trace).to_vec()
+}
+
+/// The server still serves a clean end-to-end session.
+fn assert_server_usable(handle: &ServerHandle) {
+    let mut client = Client::connect(handle.listen()).expect("connect");
+    let session = client
+        .open_session("post-abuse", SessionOptions::default())
+        .expect("open");
+    let bytes = tiny_trace();
+    client.send_chunk(session, &bytes).expect("chunk");
+    let ack = client.close_session(session).expect("close");
+    assert!(ack.clean, "post-abuse session must decode cleanly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary junk sent as the frames after a valid handshake:
+    /// every server reply decodes as a valid message, the connection
+    /// ends in a typed protocol error or a hangup (never a hang), and
+    /// the listener survives to serve real clients.
+    #[test]
+    fn junk_frames_never_wedge_the_server(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let handle = start_server();
+        let mut stream = raw_connect(&handle);
+        handshake(&mut stream);
+        write_frame(&mut stream, &payload).expect("write junk");
+        stream.flush().expect("flush");
+        // Drain replies until the server hangs up; each one must be a
+        // decodable server message. A junk payload that happens to
+        // decode as a real command gets a normal reply or a typed
+        // error; one that doesn't ends the connection with Protocol.
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(frame)) => {
+                    prop_assert!(ServerMessage::decode(frame).is_ok());
+                }
+                Ok(None) => break,          // clean hangup
+                Err(_) => break,            // reset mid-teardown: also fine
+            }
+        }
+        assert_server_usable(&handle);
+    }
+
+    /// A client that vanishes after an arbitrary prefix of a valid
+    /// conversation (handshake, open, partial chunks) leaves the
+    /// server fully usable. Exercises teardown from every interesting
+    /// connection state.
+    #[test]
+    fn disconnect_at_any_point_leaves_server_usable(
+        cut in 0usize..6,
+        chunk_len in 1usize..512,
+    ) {
+        let handle = start_server();
+        let bytes = tiny_trace();
+        {
+            let mut stream = raw_connect(&handle);
+            'conversation: {
+                if cut == 0 { break 'conversation; }
+                handshake(&mut stream);
+                if cut == 1 { break 'conversation; }
+                let open = ClientMessage::OpenSession {
+                    name: "doomed".to_string(),
+                    opts: SessionOptions::default(),
+                }.encode().expect("encode");
+                write_frame(&mut stream, &open).expect("write");
+                stream.flush().expect("flush");
+                if cut == 2 { break 'conversation; }
+                let opened = read_frame(&mut stream).expect("read").expect("frame");
+                let ServerMessage::SessionOpened { session } =
+                    ServerMessage::decode(opened).expect("decode")
+                else { panic!("expected SessionOpened") };
+                if cut == 3 { break 'conversation; }
+                // Stream part of the trace, possibly ending mid-record.
+                let upto = chunk_len.min(bytes.len());
+                let chunk = ClientMessage::TraceChunk {
+                    session,
+                    bytes: bytes::Bytes::from(bytes[..upto].to_vec()),
+                }.encode().expect("encode");
+                write_frame(&mut stream, &chunk).expect("write");
+                stream.flush().expect("flush");
+                if cut == 4 { break 'conversation; }
+                // Half a frame: length prefix promising more than sent.
+                stream.write_all(&[0xFF, 0x00, 0x00, 0x00]).expect("write");
+                stream.flush().expect("flush");
+            }
+            // Drop: disconnect in whatever state `cut` selected.
+        }
+        assert_server_usable(&handle);
+    }
+
+    /// Chunk boundaries are irrelevant: a trace delivered in arbitrary
+    /// random-sized pieces profiles bit-identically to the same trace
+    /// delivered whole.
+    #[test]
+    fn arbitrary_chunking_is_bit_identical(
+        sizes in prop::collection::vec(1usize..977, 1..40),
+    ) {
+        let handle = start_server();
+        let bytes = tiny_trace();
+        let mut client = Client::connect(handle.listen()).expect("connect");
+
+        let whole = client.open_session("whole", SessionOptions::default()).expect("open");
+        client.send_chunk(whole, &bytes).expect("chunk");
+        let whole_ack = client.close_session(whole).expect("close");
+        prop_assert!(whole_ack.clean);
+
+        let pieces = client.open_session("pieces", SessionOptions::default()).expect("open");
+        let mut off = 0usize;
+        let mut i = 0usize;
+        while off < bytes.len() {
+            let take = sizes[i % sizes.len()].min(bytes.len() - off);
+            client.send_chunk(pieces, &bytes[off..off + take]).expect("chunk");
+            off += take;
+            i += 1;
+        }
+        let pieces_ack = client.close_session(pieces).expect("close");
+        prop_assert!(pieces_ack.clean);
+
+        let mut a = Fnv64::new();
+        whole_ack.profile.fold_into(&mut a);
+        let mut b = Fnv64::new();
+        pieces_ack.profile.fold_into(&mut b);
+        prop_assert_eq!(a.value(), b.value());
+    }
+
+    /// Corrupting a single byte anywhere in the record stream is
+    /// either detected as a malformed trace or still decodes (a varint
+    /// payload byte flip can produce a different-but-valid stream) —
+    /// but it never kills the connection or a sibling session.
+    #[test]
+    fn corrupt_byte_is_contained_to_its_session(
+        pos_seed in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let handle = start_server();
+        let bytes = tiny_trace();
+        // Only corrupt past the header (the profiler rejects header
+        // corruption at open; record corruption is the interesting
+        // incremental case).
+        let header = 20 + "tiny".len();
+        let pos = header + (pos_seed as usize) % (bytes.len() - header);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= flip;
+
+        let mut client = Client::connect(handle.listen()).expect("connect");
+        let sick = client.open_session("sick", SessionOptions::default()).expect("open");
+        let ok = client.open_session("ok", SessionOptions::default()).expect("open");
+        client.send_chunk(sick, &corrupt).expect("chunk");
+        client.send_chunk(ok, &bytes).expect("chunk");
+        // The sick session either flushes (harmless flip) or reports a
+        // malformed trace; either way it answers.
+        match client.flush(sick) {
+            Ok(_) => {}
+            Err(rdx_server::ClientError::Server { code, .. }) => {
+                prop_assert_eq!(code, ErrorCode::MalformedTrace);
+            }
+            Err(other) => prop_assert!(false, "unexpected failure: {}", other),
+        }
+        // The sibling is untouched either way.
+        let ack = client.close_session(ok).expect("close");
+        prop_assert!(ack.clean);
+    }
+}

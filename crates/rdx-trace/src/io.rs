@@ -33,6 +33,29 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 4] = b"RDXT";
 const VERSION: u32 = 1;
 
+/// Longest embedded trace name the format accepts, in bytes.
+///
+/// The wire field is a `u32`, but an unbounded name is useless and a
+/// `name.len() as u32` cast would silently truncate the length field of
+/// a multi-gigabyte name, desynchronizing the header from its payload.
+/// Construction ([`crate::Trace`]) clamps names to this bound; encoding
+/// ([`try_to_bytes`]) and decoding ([`TraceReader::new`]) reject
+/// anything longer.
+pub const MAX_NAME_LEN: usize = 4096;
+
+/// `name` cut at the last char boundary that fits [`MAX_NAME_LEN`].
+#[must_use]
+pub(crate) fn clamp_name(name: &str) -> &str {
+    if name.len() <= MAX_NAME_LEN {
+        return name;
+    }
+    let mut end = MAX_NAME_LEN;
+    while !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    &name[..end]
+}
+
 /// Errors produced by trace (de)serialization.
 #[derive(Debug)]
 pub enum TraceError {
@@ -42,11 +65,20 @@ pub enum TraceError {
     BadMagic,
     /// The input has an unsupported format version.
     BadVersion(u32),
-    /// The input ended before the declared record count was read, or a
-    /// varint was malformed.
+    /// The input ended before the declared record count was read.
     Truncated,
+    /// A varint record is non-canonical: a continuation byte carries
+    /// significant bits past the 128-bit payload (an overlong encoding
+    /// would silently decode to a wrong value), or the header violates a
+    /// format bound such as [`MAX_NAME_LEN`]. Unlike
+    /// [`Truncated`](TraceError::Truncated) this is corruption, not
+    /// short input — retrying with more bytes cannot fix it.
+    Malformed,
     /// The embedded name is not valid UTF-8.
     BadName,
+    /// The trace name exceeds [`MAX_NAME_LEN`] bytes and cannot be
+    /// serialized without clamping.
+    NameTooLong(usize),
     /// Bytes remain after the declared record count was decoded.
     TrailingData(usize),
 }
@@ -61,8 +93,14 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceError::Truncated => write!(f, "trace file truncated or corrupt"),
+            TraceError::Truncated => write!(f, "trace file truncated (input ended early)"),
+            TraceError::Malformed => {
+                write!(f, "trace record malformed (overlong varint encoding)")
+            }
             TraceError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceError::NameTooLong(n) => {
+                write!(f, "trace name is {n} bytes; the limit is {MAX_NAME_LEN}")
+            }
             TraceError::TrailingData(n) => {
                 write!(f, "{n} trailing byte(s) after the declared record count")
             }
@@ -85,6 +123,18 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+/// A fresh instance of a parked record-decode error. `TraceError` is
+/// not `Clone` (it can wrap `std::io::Error`), but the errors the
+/// record decoders park are always the dataless kinds, which a fused
+/// reader must keep re-reporting without losing the
+/// truncated-vs-malformed distinction.
+fn dup_decode_error(e: &TraceError) -> TraceError {
+    match e {
+        TraceError::Malformed => TraceError::Malformed,
+        _ => TraceError::Truncated,
+    }
+}
+
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
@@ -93,7 +143,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u128) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u128) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -105,7 +155,19 @@ fn put_varint(buf: &mut BytesMut, mut v: u128) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u128, TraceError> {
+/// True when OR-ing `sig << shift` into a `u128` would lose bits: the
+/// shift is past the payload width, or the byte's significant bits do
+/// not all fit below bit 128. Such an encoding is overlong — decoding
+/// it "successfully" would produce a silently wrong value, so both the
+/// scalar and the bulk decoder reject it as [`TraceError::Malformed`].
+#[inline]
+fn varint_bits_overflow(sig: u128, shift: u32) -> bool {
+    // `shift >= 128` must short-circuit: a shift that large is itself
+    // UB-adjacent (masked in release, panic in debug).
+    shift >= 128 || (sig << shift) >> shift != sig
+}
+
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u128, TraceError> {
     let mut v = 0u128;
     let mut shift = 0u32;
     loop {
@@ -113,10 +175,11 @@ fn get_varint(buf: &mut Bytes) -> Result<u128, TraceError> {
             return Err(TraceError::Truncated);
         }
         let byte = buf.get_u8();
-        if shift >= 128 {
-            return Err(TraceError::Truncated);
+        let sig = u128::from(byte & 0x7f);
+        if varint_bits_overflow(sig, shift) {
+            return Err(TraceError::Malformed);
         }
-        v |= u128::from(byte & 0x7f) << shift;
+        v |= sig << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }
@@ -124,13 +187,37 @@ fn get_varint(buf: &mut Bytes) -> Result<u128, TraceError> {
     }
 }
 
+/// Serializes a trace into bytes, erroring on an unencodable name.
+///
+/// [`Trace`] construction clamps names to [`MAX_NAME_LEN`], so inputs
+/// built through its constructors always encode; the error path guards
+/// traces deserialized or patched by other means.
+///
+/// # Errors
+///
+/// [`TraceError::NameTooLong`] when the name exceeds [`MAX_NAME_LEN`]
+/// bytes — the header length field must never be silently truncated.
+pub fn try_to_bytes(trace: &Trace) -> Result<Bytes, TraceError> {
+    if trace.name().len() > MAX_NAME_LEN {
+        return Err(TraceError::NameTooLong(trace.name().len()));
+    }
+    Ok(to_bytes(trace))
+}
+
 /// Serializes a trace into bytes.
+///
+/// The name is written clamped to [`MAX_NAME_LEN`] bytes (a no-op for
+/// traces built through [`Trace`]'s constructors, which already enforce
+/// the bound); the length field always matches the bytes written. Use
+/// [`try_to_bytes`] to reject over-long names instead of clamping.
 #[must_use]
 pub fn to_bytes(trace: &Trace) -> Bytes {
     let mut buf = BytesMut::with_capacity(trace.len() * 2 + 64);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    let name = trace.name().as_bytes();
+    let name = clamp_name(trace.name()).as_bytes();
+    // The clamp bounds `name.len()` ≤ MAX_NAME_LEN, so this cast is
+    // exact and the length field agrees with the payload that follows.
     buf.put_u32_le(name.len() as u32);
     buf.put_slice(name);
     buf.put_u64_le(trace.len() as u64);
@@ -196,6 +283,9 @@ impl TraceReader {
             return Err(TraceError::Truncated);
         }
         let name_len = buf.get_u32_le() as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(TraceError::Malformed);
+        }
         if buf.remaining() < name_len {
             return Err(TraceError::Truncated);
         }
@@ -291,7 +381,7 @@ impl TraceReader {
             }
         }
         if self.error.is_some() {
-            return Err(TraceError::Truncated);
+            return Err(self.parked());
         }
         if self.decoded >= self.declared {
             return Ok(None);
@@ -300,7 +390,7 @@ impl TraceReader {
         let raw = match get_varint(&mut self.buf) {
             Ok(raw) => raw,
             Err(e) => {
-                self.error = Some(TraceError::Truncated);
+                self.error = Some(dup_decode_error(&e));
                 return Err(e);
             }
         };
@@ -344,7 +434,7 @@ impl TraceReader {
         out.base_index = self.decoded;
         out.accesses.clear();
         if self.error.is_some() {
-            return Err(TraceError::Truncated);
+            return Err(self.parked());
         }
         let remaining = self.declared - self.decoded;
         let target = usize::try_from(remaining).map_or(max, |r| r.min(max));
@@ -359,21 +449,25 @@ impl TraceReader {
         let mut p = 0usize;
         let mut committed = 0usize;
         let mut prev = self.prev;
-        let mut truncated = false;
+        let mut failure: Option<TraceError> = None;
         'records: while out.accesses.len() < target {
             let mut raw = 0u128;
             let mut shift = 0u32;
             loop {
                 let Some(&byte) = bytes.get(p) else {
-                    truncated = true;
+                    failure = Some(TraceError::Truncated);
                     break 'records;
                 };
                 p += 1;
-                if shift >= 128 {
-                    truncated = true;
+                let sig = u128::from(byte & 0x7f);
+                // Same canonical-form rule as the scalar `get_varint`:
+                // a continuation byte whose significant bits don't fit
+                // the 128-bit payload would be silently shifted out.
+                if varint_bits_overflow(sig, shift) {
+                    failure = Some(TraceError::Malformed);
                     break 'records;
                 }
-                raw |= u128::from(byte & 0x7f) << shift;
+                raw |= sig << shift;
                 if byte & 0x80 == 0 {
                     break;
                 }
@@ -402,11 +496,20 @@ impl TraceReader {
             rdx_metrics::counter("rdx.trace.decode.accesses").add(n as u64);
             rdx_metrics::counter("rdx.trace.decode.chunks").incr();
         }
-        if truncated {
-            self.error = Some(TraceError::Truncated);
-            return Err(TraceError::Truncated);
+        if let Some(e) = failure {
+            self.error = Some(dup_decode_error(&e));
+            return Err(e);
         }
         Ok(n)
+    }
+
+    /// A fresh instance of the reader's parked error (fused readers
+    /// keep re-reporting it on every further decode call).
+    fn parked(&self) -> TraceError {
+        match &self.error {
+            Some(e) => dup_decode_error(e),
+            None => TraceError::Truncated,
+        }
     }
 
     /// Refills the internal chunk buffer via
@@ -519,6 +622,72 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceError> {
     from_bytes(data)
 }
 
+/// Incremental validator of a varint record stream that arrives in
+/// arbitrary byte fragments (a long-lived ingestion session receiving
+/// framed chunks cannot hold complete records per fragment).
+///
+/// The scanner applies the exact canonical-form rule of the decoders —
+/// a continuation byte whose significant bits overflow the 128-bit
+/// payload is [`TraceError::Malformed`] — without materializing values,
+/// so corrupt input is rejected the moment it arrives instead of at the
+/// first full decode. A fragment may end mid-record
+/// ([`mid_record`](RecordScanner::mid_record)); the partial state
+/// carries over to the next [`scan`](RecordScanner::scan) call.
+#[derive(Debug, Default)]
+pub struct RecordScanner {
+    shift: u32,
+    records: u64,
+    malformed: bool,
+}
+
+impl RecordScanner {
+    /// A scanner positioned at a record boundary.
+    #[must_use]
+    pub fn new() -> RecordScanner {
+        RecordScanner::default()
+    }
+
+    /// Scans one more fragment of the record stream.
+    ///
+    /// The scanner is fused: after a malformed byte every further call
+    /// keeps failing.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] at the first overlong encoding.
+    pub fn scan(&mut self, bytes: &[u8]) -> Result<(), TraceError> {
+        if self.malformed {
+            return Err(TraceError::Malformed);
+        }
+        for &byte in bytes {
+            let sig = u128::from(byte & 0x7f);
+            if varint_bits_overflow(sig, self.shift) {
+                self.malformed = true;
+                return Err(TraceError::Malformed);
+            }
+            if byte & 0x80 == 0 {
+                self.shift = 0;
+                self.records += 1;
+            } else {
+                self.shift += 7;
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete records scanned so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// True when the last scanned fragment ended inside a record.
+    #[must_use]
+    pub fn mid_record(&self) -> bool {
+        self.shift != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,8 +788,137 @@ mod tests {
     fn error_display_is_informative() {
         assert!(TraceError::BadMagic.to_string().contains("magic"));
         assert!(TraceError::Truncated.to_string().contains("truncated"));
+        assert!(TraceError::Malformed.to_string().contains("malformed"));
         assert!(TraceError::BadVersion(7).to_string().contains('7'));
         assert!(TraceError::TrailingData(3).to_string().contains('3'));
+        let e = TraceError::NameTooLong(MAX_NAME_LEN + 1).to_string();
+        assert!(e.contains(&MAX_NAME_LEN.to_string()), "{e}");
+    }
+
+    /// An overlong varint: 18 continuation bytes reach shift 126, where
+    /// only two significant bits still fit; `last` carries more.
+    fn overlong_varint(last: u8) -> Vec<u8> {
+        let mut bytes = vec![0x81u8; 18];
+        bytes.push(last);
+        bytes
+    }
+
+    #[test]
+    fn overlong_varint_rejected_not_silently_truncated() {
+        // Pre-fix behavior: the high bits of the 19th byte were shifted
+        // out and the varint "decoded" to a wrong value. It must error.
+        for last in [0x04u8, 0x7f, 0x84, 0xff] {
+            let mut buf = Bytes::from(overlong_varint(last));
+            assert!(
+                matches!(get_varint(&mut buf), Err(TraceError::Malformed)),
+                "last={last:#04x} must be rejected"
+            );
+        }
+        // A 19th byte whose significant bits fit (≤ 2 bits) is legal...
+        let mut buf = Bytes::from(overlong_varint(0x03));
+        assert!(get_varint(&mut buf).is_ok());
+        // ...but a 20th byte never is (shift 133 ≥ 128), even a zero.
+        let mut bytes = vec![0x80u8; 19];
+        bytes.push(0x00);
+        let mut buf = Bytes::from(bytes);
+        assert!(matches!(get_varint(&mut buf), Err(TraceError::Malformed)));
+    }
+
+    /// A valid single-record trace whose record bytes are replaced by
+    /// `record`, with the declared count forced to `declared`.
+    fn trace_with_raw_record(record: &[u8], declared: u64) -> Vec<u8> {
+        let t = Trace::from_addresses("raw", [1u64]);
+        let raw = to_bytes(&t).to_vec();
+        let name_len = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]) as usize;
+        let count_at = 12 + name_len;
+        let mut out = raw[..count_at].to_vec();
+        out.extend_from_slice(&declared.to_le_bytes());
+        out.extend_from_slice(record);
+        out
+    }
+
+    #[test]
+    fn malformed_record_distinguished_from_truncation_everywhere() {
+        let raw = trace_with_raw_record(&overlong_varint(0x7f), 1);
+        // one-shot
+        assert!(matches!(
+            from_bytes(raw.clone()),
+            Err(TraceError::Malformed)
+        ));
+        // scalar streaming: parked error keeps the Malformed kind
+        let mut reader = TraceReader::new(raw.clone()).unwrap();
+        assert!(matches!(reader.try_next(), Err(TraceError::Malformed)));
+        assert!(matches!(reader.try_next(), Err(TraceError::Malformed)));
+        assert!(matches!(reader.error(), Some(TraceError::Malformed)));
+        assert!(matches!(reader.finish(), Err(TraceError::Malformed)));
+        // bulk
+        let mut reader = TraceReader::new(raw).unwrap();
+        let mut chunk = Chunk::default();
+        assert!(matches!(
+            reader.decode_chunk(&mut chunk, 16),
+            Err(TraceError::Malformed)
+        ));
+        assert!(matches!(
+            reader.decode_chunk(&mut chunk, 16),
+            Err(TraceError::Malformed)
+        ));
+        // short input still reports Truncated, not Malformed
+        let cut = trace_with_raw_record(&[0x81], 1);
+        assert!(matches!(from_bytes(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn serializer_rejects_oversized_name() {
+        let t = Trace::with_unchecked_name("n".repeat(MAX_NAME_LEN + 1));
+        assert!(matches!(
+            try_to_bytes(&t),
+            Err(TraceError::NameTooLong(n)) if n == MAX_NAME_LEN + 1
+        ));
+        // The infallible encoder clamps instead, keeping the length
+        // field and the payload consistent; the result decodes.
+        let raw = to_bytes(&t);
+        let t2 = from_bytes(raw).unwrap();
+        assert_eq!(t2.name().len(), MAX_NAME_LEN);
+        // In-bounds names pass `try_to_bytes` unchanged.
+        let ok = Trace::from_addresses("fine", [1u64, 2]);
+        assert_eq!(try_to_bytes(&ok).unwrap(), to_bytes(&ok));
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_name_length() {
+        let t = Trace::from_addresses("n", [1u64]);
+        let mut raw = to_bytes(&t).to_vec();
+        let bad_len = (MAX_NAME_LEN as u32 + 1).to_le_bytes();
+        raw[8..12].copy_from_slice(&bad_len);
+        assert!(matches!(TraceReader::new(raw), Err(TraceError::Malformed)));
+    }
+
+    #[test]
+    fn record_scanner_counts_and_detects_overlong() {
+        let t = Trace::from_addresses("s", (0..50u64).map(|i| i * 64));
+        let raw = to_bytes(&t);
+        let name_len = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]) as usize;
+        let records = &raw[12 + name_len + 8..];
+        // Arbitrary fragmentation: every split point agrees.
+        for split in 0..records.len() {
+            let mut scanner = RecordScanner::new();
+            scanner.scan(&records[..split]).unwrap();
+            scanner.scan(&records[split..]).unwrap();
+            assert_eq!(scanner.records(), 50);
+            assert!(!scanner.mid_record());
+        }
+        // A fragment ending mid-record is visible, then resolves.
+        let mut scanner = RecordScanner::new();
+        scanner.scan(&[0x81]).unwrap();
+        assert!(scanner.mid_record());
+        assert_eq!(scanner.records(), 0);
+        scanner.scan(&[0x01]).unwrap();
+        assert!(!scanner.mid_record());
+        assert_eq!(scanner.records(), 1);
+        // Overlong input trips the scanner, which then stays fused.
+        let mut scanner = RecordScanner::new();
+        assert!(scanner.scan(&overlong_varint(0x7f)).is_err());
+        assert!(scanner.scan(&[0x01]).is_err());
     }
 
     #[test]
@@ -1022,6 +1320,87 @@ mod proptests {
                 prop_assert_eq!(&got, &want);
                 prop_assert_eq!(chunked.error().is_some(), scalar.error().is_some());
                 prop_assert_eq!(chunked.decoded(), scalar.decoded());
+            }
+        }
+
+        /// Every overlong encoding — one whose continuation bytes carry
+        /// significant bits past the 128-bit payload — is rejected as
+        /// `Malformed` by the scalar decoder, the bulk decoder, and the
+        /// incremental scanner alike. (The pre-fix decoders silently
+        /// shifted the excess bits out and returned a wrong value.)
+        #[test]
+        fn overlong_encodings_rejected_by_scalar_and_bulk(
+            body in prop::collection::vec(any::<u8>(), 18..19),
+            last in 4u8..128,
+            continuation in any::<bool>(),
+        ) {
+            // 18 continuation bytes reach shift 126, where only two
+            // significant bits still fit; `last` carries more, as a
+            // terminator or as a further continuation byte.
+            let mut overlong: Vec<u8> = body.iter().map(|b| b | 0x80).collect();
+            overlong.push(if continuation { last | 0x80 } else { last });
+            // scalar
+            let mut buf = Bytes::from(overlong.clone());
+            prop_assert!(matches!(
+                get_varint(&mut buf),
+                Err(TraceError::Malformed)
+            ));
+            // incremental scanner
+            let mut scanner = RecordScanner::new();
+            prop_assert!(matches!(
+                scanner.scan(&overlong),
+                Err(TraceError::Malformed)
+            ));
+            // bulk: splice the record into a valid header
+            let t = Trace::from_addresses("o", [1u64]);
+            let raw = to_bytes(&t).to_vec();
+            let name_len =
+                u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]) as usize;
+            let mut framed = raw[..12 + name_len].to_vec();
+            framed.extend_from_slice(&1u64.to_le_bytes());
+            framed.extend_from_slice(&overlong);
+            let mut reader = TraceReader::new(framed).unwrap();
+            let mut chunk = Chunk::default();
+            prop_assert!(matches!(
+                reader.decode_chunk(&mut chunk, 16),
+                Err(TraceError::Malformed)
+            ));
+        }
+
+        /// The incremental `RecordScanner` agrees with the scalar
+        /// decoder on arbitrary byte streams at arbitrary split points:
+        /// same malformed-vs-clean verdict, same complete-record count.
+        #[test]
+        fn record_scanner_matches_scalar_decoder(
+            data in prop::collection::vec(any::<u8>(), 0..256),
+            split in 0usize..256,
+        ) {
+            // Scalar oracle: decode varints until the bytes run out.
+            let mut buf = Bytes::from(data.clone());
+            let mut want_records = 0u64;
+            let mut want_malformed = false;
+            loop {
+                if !buf.has_remaining() {
+                    break;
+                }
+                match get_varint(&mut buf) {
+                    Ok(_) => want_records += 1,
+                    Err(TraceError::Truncated) => break, // partial tail
+                    Err(TraceError::Malformed) => {
+                        want_malformed = true;
+                        break;
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+            let split = split.min(data.len());
+            let mut scanner = RecordScanner::new();
+            let got = scanner
+                .scan(&data[..split])
+                .and_then(|()| scanner.scan(&data[split..]));
+            prop_assert_eq!(got.is_err(), want_malformed);
+            if !want_malformed {
+                prop_assert_eq!(scanner.records(), want_records);
             }
         }
 

@@ -25,6 +25,9 @@
 //!   bounded chunk per call, and [`PipelinedReader`] runs that decoder
 //!   on a dedicated thread (decode-ahead over a ring of recycled
 //!   buffers), so file-backed profiling feeds the machine fast path.
+//! * [`frame`] — a length-prefixed frame codec with typed
+//!   [`FrameError`]s and [`PayloadWriter`] / [`PayloadReader`] field
+//!   encoding, the wire layer of the `rdx serve` protocol.
 //! * [`TraceStats`] — single-pass summary statistics of a stream.
 //!
 //! # Example
@@ -43,6 +46,7 @@
 
 mod chunk;
 mod event;
+pub mod frame;
 pub mod io;
 mod pipeline;
 mod stats;
@@ -51,7 +55,8 @@ mod trace;
 
 pub use chunk::{Chunk, Chunked, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
-pub use io::{TraceError, TraceReader};
+pub use frame::{FrameError, PayloadReader, PayloadWriter, MAX_FRAME_LEN};
+pub use io::{RecordScanner, TraceError, TraceReader, MAX_NAME_LEN};
 pub use pipeline::{PipelineOptions, PipelinedReader};
 pub use stats::TraceStats;
 pub use stream::{AccessStream, FnStream, Opaque, Take};

@@ -16,11 +16,23 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Creates an empty trace with the given name.
+    /// Names are clamped to [`crate::io::MAX_NAME_LEN`] bytes at
+    /// construction so serialization can never see a name whose length
+    /// overflows the header's `u32` length field.
+    fn checked_name(name: impl Into<String>) -> String {
+        let name = name.into();
+        if name.len() <= crate::io::MAX_NAME_LEN {
+            return name;
+        }
+        crate::io::clamp_name(&name).to_owned()
+    }
+
+    /// Creates an empty trace with the given name (clamped to
+    /// [`crate::io::MAX_NAME_LEN`] bytes).
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
         Trace {
-            name: name.into(),
+            name: Self::checked_name(name),
             accesses: Vec::new(),
         }
     }
@@ -29,7 +41,7 @@ impl Trace {
     #[must_use]
     pub fn from_addresses(name: impl Into<String>, addrs: impl IntoIterator<Item = u64>) -> Self {
         Trace {
-            name: name.into(),
+            name: Self::checked_name(name),
             accesses: addrs.into_iter().map(Access::load).collect(),
         }
     }
@@ -55,8 +67,18 @@ impl Trace {
             accesses.push(a);
         }
         Trace {
-            name: name.into(),
+            name: Self::checked_name(name),
             accesses,
+        }
+    }
+
+    /// Test-only: bypasses the construction-time name clamp so the
+    /// serializer's own oversized-name rejection stays testable.
+    #[cfg(test)]
+    pub(crate) fn with_unchecked_name(name: String) -> Self {
+        Trace {
+            name,
+            accesses: Vec::new(),
         }
     }
 
@@ -260,5 +282,23 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.stream().count_remaining(), 0);
         assert_eq!(t.distinct_blocks(0), 0);
+    }
+
+    #[test]
+    fn oversized_names_clamped_at_construction() {
+        let max = crate::io::MAX_NAME_LEN;
+        let long = "n".repeat(max + 100);
+        for t in [
+            Trace::new(long.clone()),
+            Trace::from_addresses(long.clone(), [1u64, 2]),
+            Trace::from_stream(long.clone(), Trace::new("x").stream()),
+        ] {
+            assert_eq!(t.name().len(), max, "clamped to the serializable bound");
+        }
+        // Clamping lands on a char boundary, never mid-codepoint.
+        let unicode = "é".repeat(max); // 2 bytes per char -> 2*max bytes
+        let t = Trace::new(unicode);
+        assert!(t.name().len() <= max);
+        assert!(t.name().chars().all(|c| c == 'é'));
     }
 }
