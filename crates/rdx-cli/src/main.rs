@@ -19,6 +19,7 @@
 //!            [--chunk-bytes N] [--crosscheck] [--metrics]
 //!            [--pipelined|--no-pipelined] [--decode-buffer N]
 //!            [--decode-ahead N]
+//! rdx sim [--seed N] [--schedules N] [--faults LIST]
 //! ```
 //!
 //! `profile` accepts either a registry workload name or a path to a
@@ -43,6 +44,14 @@
 //! `--jobs N` parallelizes: `suite` fans workloads over `N` profiler
 //! threads (deterministic, same output as `--jobs 1`), and `profile
 //! --exact` measures ground truth with `N` shards.
+//!
+//! `sim` runs the deterministic simulation suite from `rdx-sim`: the
+//! concurrent paths (pipelined decode-ahead, batch dispatch, server
+//! sessions) driven step by step under seeded schedules with fault
+//! injection. A violation prints the seed that replays it and exits
+//! nonzero. `--faults` takes `all`, `none`, or a comma-separated subset
+//! of `truncate`, `overlong`, `worker-death`, `batch-panic`,
+//! `session-disorder`.
 //!
 //! `--metrics` appends a JSON observability report (from `rdx-metrics`)
 //! that crosschecks the registry counters against the profile fields;
@@ -77,7 +86,8 @@ fn usage() -> ExitCode {
          rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N] [--elements N]\n             \
          [--period N] [--seed N] [--registers N] [--chunk-bytes N]\n             \
          [--crosscheck] [--metrics] [--pipelined|--no-pipelined]\n             \
-         [--decode-buffer N] [--decode-ahead N]"
+         [--decode-buffer N] [--decode-ahead N]\n  \
+         rdx sim [--seed N] [--schedules N] [--faults LIST]"
     );
     ExitCode::FAILURE
 }
@@ -97,6 +107,7 @@ fn main() -> ExitCode {
         Some("trace") => trace_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
+        Some("sim") => sim_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -1168,6 +1179,100 @@ fn client_cmd(args: &[String]) -> ExitCode {
     code
 }
 
+/// Parsed `rdx sim` options (its flags don't overlap the profiling
+/// commands': `--seed` here names a schedule, not a workload).
+#[derive(Debug, PartialEq, Eq)]
+struct SimArgs {
+    seed: u64,
+    schedules: usize,
+    faults: rdx_sim::FaultSet,
+}
+
+impl SimArgs {
+    fn parse(args: &[String]) -> Result<SimArgs, String> {
+        let mut seed: Option<u64> = None;
+        let mut schedules: Option<u64> = None;
+        let mut faults: Option<rdx_sim::FaultSet> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let flag = arg.as_str();
+            match flag {
+                "--seed" | "--schedules" => {
+                    let slot = if flag == "--seed" {
+                        &mut seed
+                    } else {
+                        &mut schedules
+                    };
+                    if slot.is_some() {
+                        return Err(format!("duplicate flag '{flag}'"));
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("{flag} needs a value"))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("{flag}: {e}"))?;
+                    *slot = Some(value);
+                }
+                "--faults" => {
+                    if faults.is_some() {
+                        return Err("duplicate flag '--faults'".to_string());
+                    }
+                    let value = it.next().ok_or("--faults needs a value")?;
+                    faults = Some(rdx_sim::FaultSet::parse(value)?);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        let schedules = match schedules {
+            Some(0) => return Err("--schedules must be at least 1 (got 0)".to_string()),
+            Some(v) => usize::try_from(v).unwrap_or(usize::MAX),
+            None => 64,
+        };
+        Ok(SimArgs {
+            seed: seed.unwrap_or(0),
+            schedules,
+            faults: faults.unwrap_or_default(),
+        })
+    }
+}
+
+/// Runs the deterministic simulation suite: seeded schedules and fault
+/// injection over the pipelined reader, batch dispatch, and server
+/// sessions, plus the golden-digest reproduction through the virtual
+/// pipeline. A violation prints its replay seed and exits FAILURE.
+fn sim_cmd(args: &[String]) -> ExitCode {
+    let parsed = match SimArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = rdx_sim::SimConfig {
+        seed: parsed.seed,
+        schedules: parsed.schedules,
+        faults: parsed.faults,
+    };
+    println!(
+        "sim: base seed {}, {} schedules per scenario",
+        cfg.seed, cfg.schedules
+    );
+    match rdx_sim::run_suite(&cfg) {
+        Ok(report) => {
+            print!("{report}");
+            println!(
+                "sim: {} schedules passed, no invariant violations",
+                report.total_schedules()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("error: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_histogram(h: &Histogram, csv: bool) {
     let n = h.normalized();
     let sep = if csv { "," } else { "  " };
@@ -1525,6 +1630,38 @@ mod tests {
         assert_eq!(code, ExitCode::FAILURE);
         // A server that isn't there is an error, not a hang or panic.
         let code = client_cmd(&to_args(&["127.0.0.1:9", "zipf", "--accesses", "100"]));
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn sim_args_parse_and_validate() {
+        let a = SimArgs::parse(&to_args(&["--seed", "42", "--schedules", "8"])).unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.schedules, 8);
+        assert_eq!(a.faults, rdx_sim::FaultSet::all());
+
+        let a = SimArgs::parse(&to_args(&["--faults", "truncate,worker-death"])).unwrap();
+        assert!(a.faults.truncate && a.faults.worker_death);
+        assert!(!a.faults.overlong && !a.faults.batch_panic && !a.faults.session_disorder);
+
+        for (args, needle) in [
+            (&["--faults", "bogus"][..], "unknown fault class"),
+            (&["--schedules", "0"][..], "--schedules must be at least 1"),
+            (&["--seed", "1", "--seed", "2"][..], "duplicate flag"),
+            (&["--period", "512"][..], "unknown flag"),
+        ] {
+            let err = SimArgs::parse(&to_args(args)).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn sim_cmd_runs_a_small_sweep() {
+        // A tiny schedule count keeps this fast; the full sweep runs in
+        // rdx-sim's own tests and the CI sim leg.
+        let code = sim_cmd(&to_args(&["--seed", "1", "--schedules", "2"]));
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = sim_cmd(&to_args(&["--bogus"]));
         assert_eq!(code, ExitCode::FAILURE);
     }
 

@@ -22,8 +22,85 @@ use crate::report::RdxProfile;
 use crate::runner::RdxRunner;
 use rdx_trace::{AccessStream, Chunked};
 use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The steppable core of the batch dispatch loop: claim task indices
+/// from a shared cursor, reassemble `(index, result)` pairs into task
+/// order.
+///
+/// [`profile_batch`] drives these from real worker threads; the
+/// deterministic simulator (`rdx-sim`) drives the same types from
+/// virtual workers under a seeded schedule, so the claim/collect
+/// semantics — every index claimed exactly once, the lowest-indexed
+/// panic wins — are pinned by replayable tests instead of whatever
+/// interleaving the OS happened to produce.
+pub mod dispatch {
+    use std::any::Any;
+    use std::panic::resume_unwind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A caught panic payload as it crosses the collector queue.
+    pub type TaskPanic = Box<dyn Any + Send + 'static>;
+
+    /// Lock-free claim cursor: hands each of `total` task indices to
+    /// exactly one caller, in cursor order.
+    #[derive(Debug)]
+    pub struct Claims {
+        cursor: AtomicUsize,
+        total: usize,
+    }
+
+    impl Claims {
+        /// A cursor over task indices `0..total`.
+        #[must_use]
+        pub fn new(total: usize) -> Self {
+            Claims {
+                cursor: AtomicUsize::new(0),
+                total,
+            }
+        }
+
+        /// Claims the next unclaimed index; `None` once exhausted.
+        pub fn next(&self) -> Option<usize> {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            (i < self.total).then_some(i)
+        }
+
+        /// The total number of task indices.
+        #[must_use]
+        pub fn total(&self) -> usize {
+            self.total
+        }
+    }
+
+    /// Reassembles out-of-order `(index, result)` pairs into task
+    /// order, returning the values. A worker stops claiming after its
+    /// own task fails, so scanning in index order meets the
+    /// lowest-indexed panic before any never-claimed hole.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the lowest-indexed `Err` payload via
+    /// [`resume_unwind`]; panics if an index below the first failure
+    /// was never reported (a dispatch-protocol violation).
+    pub fn collect_in_order<T>(
+        total: usize,
+        results: impl IntoIterator<Item = (usize, Result<T, TaskPanic>)>,
+    ) -> Vec<T> {
+        let mut slots: Vec<Option<Result<T, TaskPanic>>> = (0..total).map(|_| None).collect();
+        for (i, result) in results {
+            slots[i] = Some(result);
+        }
+        let mut out = Vec::with_capacity(total);
+        for slot in slots {
+            match slot.expect("every task before the first panic was claimed") {
+                Ok(value) => out.push(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+}
 
 /// A unit of batch work: a profiler configuration plus the factory that
 /// builds its input stream on the worker thread.
@@ -91,22 +168,22 @@ where
         .into_iter()
         .map(|t| parking_lot::Mutex::new(Some(t)))
         .collect();
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, TaskResult)>();
+    let claims = dispatch::Claims::new(task_count);
+    // Bounded at one in-flight result per worker: the collector drains
+    // concurrently on the caller's thread, so a full queue stalls a
+    // worker briefly but can never deadlock — and backpressure
+    // discipline holds here like everywhere else in the workspace.
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, TaskResult)>(jobs);
 
     let results: Vec<Option<TaskResult>> = crossbeam::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let slots = &slots;
-            let cursor = &cursor;
+            let claims = &claims;
             scope.spawn(move |_| {
                 let _worker_span = rdx_metrics::span("rdx.batch.worker");
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        break;
-                    }
-                    rdx_metrics::record_value("rdx.batch.queue_depth", (slots.len() - i) as u64);
+                while let Some(i) = claims.next() {
+                    rdx_metrics::record_value("rdx.batch.queue_depth", (claims.total() - i) as u64);
                     let task = slots[i].lock().take().expect("task taken exactly once");
                     let result =
                         catch_unwind(AssertUnwindSafe(|| run_task(task.config, task.make_stream)));
@@ -130,17 +207,21 @@ where
     })
     .expect("batch workers never unwind (panics are caught per task)");
 
-    // Claims happen in cursor order and workers only stop after a
-    // failure, so scanning in task order meets the lowest-indexed
-    // panic before any never-claimed slot.
-    let mut profiles = Vec::with_capacity(task_count);
-    for result in results {
-        match result.expect("every task before the first panic was claimed") {
-            Ok(profile) => profiles.push(profile),
-            Err(payload) => resume_unwind(payload),
-        }
-    }
-    profiles
+    // Re-raising the lowest-indexed panic must happen outside the
+    // scope (the scope catches closure unwinds to match crossbeam's
+    // contract, which would swallow the payload).
+    dispatch::collect_in_order(task_count, results.into_iter().enumerate().map(to_pair))
+}
+
+/// Unwraps one collected slot for [`dispatch::collect_in_order`]; the
+/// `None` case is the same protocol violation its docs describe.
+fn to_pair(
+    (i, slot): (usize, Option<TaskResult>),
+) -> (usize, Result<RdxProfile, dispatch::TaskPanic>) {
+    (
+        i,
+        slot.expect("every task before the first panic was claimed"),
+    )
 }
 
 impl RdxRunner {

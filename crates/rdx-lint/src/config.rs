@@ -43,7 +43,8 @@ impl LintConfig {
     /// Layering (lower layers must not import higher ones):
     ///
     /// ```text
-    /// 6  rdx-cli
+    /// 7  rdx-cli
+    /// 6  rdx-sim
     /// 5  rdx-server  rdx-bench   rdx-lint
     /// 4  rdx-core  rdx-baselines
     /// 3  rdx-groundtruth  rdx-cache
@@ -61,6 +62,7 @@ impl LintConfig {
                 "rdx-baselines",
                 "rdx-trace",
                 "rdx-server",
+                "rdx-sim",
             ]),
             clock_exempt_crates: strings(&["rdx-bench", "rdx-metrics"]),
             hot_path_files: [
@@ -93,7 +95,8 @@ impl LintConfig {
                 ("rdx-core", 4),
                 ("rdx-baselines", 4),
                 ("rdx-server", 5),
-                ("rdx-cli", 6),
+                ("rdx-sim", 6),
+                ("rdx-cli", 7),
                 ("rdx-bench", 5),
                 ("rdx-lint", 5),
             ]

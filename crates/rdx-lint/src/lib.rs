@@ -15,6 +15,7 @@
 //! | `wall-clock` | no `Instant::now`/`SystemTime` outside bench/metrics |
 //! | `entropy-rng` | no `thread_rng`/`from_entropy`/`OsRng`/`rand::random` outside bench/metrics |
 //! | `no-panic` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in hot-path modules |
+//! | `unbounded-channel` | no unbounded channels (`crossbeam::channel::unbounded`, `mpsc::channel`) in hot crates |
 //! | `layering` | crate DAG layered, acyclic, vendored-deps-only |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `metrics-name` | counter names follow `rdx.<area>.<name>` |
@@ -59,6 +60,8 @@ pub enum Lint {
     EntropyRng,
     /// `unwrap`/`expect`/panicking macro in a hot-path module.
     NoPanic,
+    /// Unbounded channel construction in a hot crate.
+    UnboundedChannel,
     /// Crate-DAG violation: upward edge, cycle, or unvendored dep.
     Layering,
     /// Crate root missing `#![forbid(unsafe_code)]`.
@@ -71,11 +74,12 @@ pub enum Lint {
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 8] = [
+    pub const ALL: [Lint; 9] = [
         Lint::HashCollections,
         Lint::WallClock,
         Lint::EntropyRng,
         Lint::NoPanic,
+        Lint::UnboundedChannel,
         Lint::Layering,
         Lint::ForbidUnsafe,
         Lint::MetricsName,
@@ -90,6 +94,7 @@ impl Lint {
             Lint::WallClock => "wall-clock",
             Lint::EntropyRng => "entropy-rng",
             Lint::NoPanic => "no-panic",
+            Lint::UnboundedChannel => "unbounded-channel",
             Lint::Layering => "layering",
             Lint::ForbidUnsafe => "forbid-unsafe",
             Lint::MetricsName => "metrics-name",
@@ -107,6 +112,9 @@ impl Lint {
             Lint::WallClock => "forbid Instant::now/SystemTime outside rdx-bench/rdx-metrics",
             Lint::EntropyRng => "forbid entropy-seeded RNGs outside rdx-bench/rdx-metrics",
             Lint::NoPanic => "forbid unwrap/expect/panic!/unreachable!/todo! in hot-path modules",
+            Lint::UnboundedChannel => {
+                "forbid unbounded channels (crossbeam unbounded, mpsc::channel) in hot crates"
+            }
             Lint::Layering => "enforce the layered crate DAG (no cycles, no upward edges)",
             Lint::ForbidUnsafe => "require #![forbid(unsafe_code)] in every crate root",
             Lint::MetricsName => "counter names must match the rdx.<area>.<name> scheme",
@@ -192,6 +200,7 @@ pub fn check_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Viola
     let mut used_counters = BTreeSet::new();
     for krate in &crates {
         lints::determinism::check(krate, config, &mut sink);
+        lints::channels::check(krate, config, &mut sink);
         lints::panics::check(krate, config, &mut sink);
         lints::hygiene::check(
             krate,

@@ -1,0 +1,77 @@
+//! Concurrency lint: `unbounded-channel`.
+//!
+//! An unbounded channel between pipeline stages removes backpressure:
+//! a fast producer grows the queue without limit, memory use becomes
+//! schedule-dependent, and the deadlock a *bounded* queue would have
+//! surfaced in testing hides until production. The hot crates run
+//! producer/consumer pipelines whose bounds are part of their verified
+//! behavior (rdx-sim replays the exact channel capacities virtually),
+//! so every channel there must be constructed with an explicit bound:
+//! `std::sync::mpsc::sync_channel(n)` or `crossbeam::channel::bounded(n)`.
+//!
+//! Flagged in hot crates:
+//!
+//! * `unbounded(…)`, `unbounded::<T>(…)`, and `channel::unbounded`
+//!   paths (imports included) — the vendored crossbeam's unbounded
+//!   constructor;
+//! * `mpsc::channel(…)` / `mpsc::channel::<T>(…)` — std's unbounded
+//!   channel (`sync_channel` is the bounded form and is fine).
+
+use super::{path2, Sink};
+use crate::config::LintConfig;
+use crate::workspace::CrateSrc;
+use crate::Lint;
+
+/// Runs the unbounded-channel lint over one crate's sources.
+pub fn check(krate: &CrateSrc, config: &LintConfig, sink: &mut Sink) {
+    if !config.hot_crates.contains(&krate.name) {
+        return;
+    }
+    for file in &krate.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("unbounded") {
+                let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let turbofish = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct('<'));
+                let imported = i >= 3 && path2(toks, i - 3, "channel", "unbounded");
+                if called || turbofish || imported {
+                    sink.emit_src(
+                        file,
+                        Lint::UnboundedChannel,
+                        toks[i].line,
+                        format!(
+                            "unbounded channel in hot crate `{}`: queues without \
+                             backpressure grow schedule-dependently — use \
+                             `crossbeam::channel::bounded(n)`",
+                            krate.name
+                        ),
+                    );
+                }
+            }
+            // `mpsc::channel(` or `mpsc::channel::<T>(` — std's
+            // unbounded constructor; `sync_channel` tokenizes as a
+            // different ident and never matches.
+            if path2(toks, i, "mpsc", "channel") {
+                let next = toks.get(i + 4);
+                let called = next.is_some_and(|t| t.is_punct('('));
+                let turbofish = next.is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 5).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 6).is_some_and(|t| t.is_punct('<'));
+                if called || turbofish {
+                    sink.emit_src(
+                        file,
+                        Lint::UnboundedChannel,
+                        toks[i + 3].line,
+                        format!(
+                            "`mpsc::channel` (unbounded) in hot crate `{}`: use \
+                             `mpsc::sync_channel(n)` so backpressure reaches the producer",
+                            krate.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The lint passes and their shared plumbing.
 
+pub mod channels;
 pub mod determinism;
 pub mod hygiene;
 pub mod layering;

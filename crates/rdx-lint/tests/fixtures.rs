@@ -53,7 +53,7 @@ fn dirty_fixture_trips_every_lint() {
     // One pattern per lint, except layering (upward edge + unknown dep)
     // and metrics-manifest (undeclared counter + stale entry) which
     // carry two each.
-    assert_eq!(violations.len(), 10, "{}", rdx_lint::render(&violations));
+    assert_eq!(violations.len(), 11, "{}", rdx_lint::render(&violations));
 }
 
 #[test]
@@ -68,6 +68,7 @@ fn dirty_fixture_flags_the_expected_sites() {
     assert!(has(Lint::WallClock, "alpha/src/lib.rs"));
     assert!(has(Lint::EntropyRng, "alpha/src/lib.rs"));
     assert!(has(Lint::NoPanic, "alpha/src/hot.rs"));
+    assert!(has(Lint::UnboundedChannel, "alpha/src/lib.rs"));
     assert!(has(Lint::ForbidUnsafe, "alpha/src/lib.rs"));
     assert!(has(Lint::MetricsName, "alpha/src/lib.rs"));
     assert!(has(Lint::MetricsManifest, "alpha/src/lib.rs")); // undeclared

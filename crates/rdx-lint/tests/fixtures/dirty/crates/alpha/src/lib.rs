@@ -25,3 +25,9 @@ pub fn entropy() -> u64 {
 pub fn badly_named_counter() {
     rdx_metrics::counter("Bad Name").incr();
 }
+
+pub fn backpressure_free_queue() -> usize {
+    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+    tx.send(1).ok();
+    rx.try_recv().map_or(0, |_| 1)
+}

@@ -26,3 +26,10 @@ pub fn badly_named_counter() {
     // rdx-lint-allow: metrics-name, metrics-manifest — fixture
     rdx_metrics::counter("Bad Name").incr();
 }
+
+pub fn backpressure_free_queue() -> usize {
+    // rdx-lint-allow: unbounded-channel — fixture
+    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+    tx.send(1).ok();
+    rx.try_recv().map_or(0, |_| 1)
+}

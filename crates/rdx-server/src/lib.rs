@@ -33,3 +33,4 @@ pub use protocol::{
     ErrorCode, Fnv64, HistogramSnapshot, ProfileSnapshot, SessionOptions, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle, ServerOptions};
+pub use session::{SessionCmd, SessionEvent, SessionStepper};

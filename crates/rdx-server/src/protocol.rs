@@ -132,6 +132,9 @@ pub enum ErrorCode {
     /// The request cannot be answered yet (e.g. snapshot before a
     /// complete trace header has arrived).
     NotReady = 7,
+    /// A server-side infrastructure failure (not the client's fault):
+    /// e.g. the connection's writer could not be set up.
+    Internal = 8,
 }
 
 impl ErrorCode {
@@ -144,6 +147,7 @@ impl ErrorCode {
             5 => ErrorCode::MalformedTrace,
             6 => ErrorCode::Overflow,
             7 => ErrorCode::NotReady,
+            8 => ErrorCode::Internal,
             _ => return Err(FrameError::Malformed),
         })
     }

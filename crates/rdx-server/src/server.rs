@@ -188,19 +188,50 @@ fn accept_loop(listener: &AnyListener, opts: &Arc<ServerOptions>, shutdown: &Arc
 /// Runs one connection: splits the stream, starts the writer, serves
 /// frames until EOF/error, then tears everything down in dependency
 /// order (sessions, then writer).
-fn connection(stream: AnyStream, opts: &ServerOptions) {
+fn connection(mut stream: AnyStream, opts: &ServerOptions) {
     let write_half = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => {
+            // Without a write half there can be no writer thread.
+            // Don't vanish silently (the client would hang awaiting a
+            // reply that can never come): count it and tell the client
+            // directly, best effort.
+            rdx_metrics::counter("rdx.server.conn_failures").incr();
+            best_effort_error(&mut stream, "cannot split connection stream");
+            return;
+        }
     };
     let (tx, rx) = sync_channel::<Bytes>(opts.writer_queue);
+    let writer_dead = Arc::new(AtomicBool::new(false));
+    let dead = Arc::clone(&writer_dead);
     let writer = thread::Builder::new()
         .name("rdx-server-writer".to_string())
-        .spawn(move || writer_loop(write_half, &rx));
-    let Ok(writer) = writer else { return };
-    serve_connection(stream, &tx, opts);
+        .spawn(move || writer_loop(write_half, &rx, &dead));
+    let Ok(writer) = writer else {
+        rdx_metrics::counter("rdx.server.conn_failures").incr();
+        best_effort_error(&mut stream, "cannot start connection writer");
+        return;
+    };
+    serve_connection(stream, &tx, opts, &writer_dead);
     drop(tx); // writer drains remaining replies, then exits
     let _ = writer.join();
+}
+
+/// Last-resort reply when the connection's writer plumbing could not
+/// be set up: one `Internal` error frame, written synchronously to the
+/// socket. Best effort — the socket may be just as broken.
+fn best_effort_error(stream: &mut AnyStream, message: &str) {
+    let msg = ServerMessage::Error {
+        session: 0,
+        code: ErrorCode::Internal,
+        message: message.to_string(),
+    };
+    if let Ok(payload) = msg.encode() {
+        let mut w = BufWriter::new(stream);
+        if write_frame(&mut w, &payload).is_ok() {
+            let _ = w.flush();
+        }
+    }
 }
 
 /// Drains encoded reply frames to the socket. Batches: after a
@@ -210,22 +241,30 @@ fn connection(stream: AnyStream, opts: &ServerOptions) {
 /// On a write error the socket is considered dead but the loop keeps
 /// receiving (and discarding) until the senders hang up — otherwise
 /// session workers would block forever against a full queue nobody
-/// drains.
-fn writer_loop(stream: AnyStream, rx: &Receiver<Bytes>) {
+/// drains. Death is published through the shared flag so the
+/// connection reader stops feeding sessions whose answers can never
+/// reach the client (see [`serve_connection`]).
+fn writer_loop(stream: AnyStream, rx: &Receiver<Bytes>, dead: &AtomicBool) {
     let mut w = BufWriter::new(stream);
-    let mut dead = false;
     while let Ok(payload) = rx.recv() {
-        if !dead && write_frame(&mut w, &payload).is_err() {
-            dead = true;
+        if !dead.load(Ordering::Relaxed) && write_frame(&mut w, &payload).is_err() {
+            mark_writer_dead(dead);
         }
         while let Ok(extra) = rx.try_recv() {
-            if !dead && write_frame(&mut w, &extra).is_err() {
-                dead = true;
+            if !dead.load(Ordering::Relaxed) && write_frame(&mut w, &extra).is_err() {
+                mark_writer_dead(dead);
             }
         }
-        if !dead && w.flush().is_err() {
-            dead = true;
+        if !dead.load(Ordering::Relaxed) && w.flush().is_err() {
+            mark_writer_dead(dead);
         }
+    }
+}
+
+/// Flags the writer's socket as dead, counting the transition once.
+fn mark_writer_dead(dead: &AtomicBool) {
+    if !dead.swap(true, Ordering::Relaxed) {
+        rdx_metrics::counter("rdx.server.writer_dead").incr();
     }
 }
 
@@ -235,10 +274,17 @@ struct SessionHandle {
     join: JoinHandle<()>,
 }
 
-/// Reads and dispatches client frames until the client goes away or
-/// breaks the protocol. Always leaves with every session worker
+/// Reads and dispatches client frames until the client goes away,
+/// breaks the protocol, or the writer reports its socket dead (no
+/// reply can reach the client anymore, so sessions must not keep
+/// profiling into the void). Always leaves with every session worker
 /// joined.
-fn serve_connection(stream: AnyStream, out: &SyncSender<Bytes>, opts: &ServerOptions) {
+fn serve_connection(
+    stream: AnyStream,
+    out: &SyncSender<Bytes>,
+    opts: &ServerOptions,
+    writer_dead: &AtomicBool,
+) {
     let mut r = BufReader::new(stream);
     let mut sessions: BTreeMap<u32, SessionHandle> = BTreeMap::new();
     let mut next_id: u32 = 1;
@@ -272,6 +318,9 @@ fn serve_connection(stream: AnyStream, out: &SyncSender<Bytes>, opts: &ServerOpt
     }
 
     loop {
+        if writer_dead.load(Ordering::Relaxed) {
+            break; // writer's socket died: tear down, don't profile on
+        }
         let msg = match next_message(&mut r) {
             Ok(Some(m)) => m,
             Ok(None) => break, // clean EOF

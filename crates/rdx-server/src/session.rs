@@ -11,17 +11,22 @@
 //! file-backed path uses, which is what makes server-side profiles
 //! bit-identical to local ones.
 //!
-//! The worker is driven by a bounded command channel; the connection
-//! reader blocks when it fills, which propagates backpressure to the
-//! client's socket. Replies go to the connection's writer channel, also
-//! bounded. Dropping the command sender tears the worker down.
+//! The state machine itself ([`SessionState::handle`]) is a pure
+//! command-in/frames-out step function with no threads or clocks in
+//! it. Production drives it from a dedicated thread over a bounded
+//! command channel ([`SessionWorker::run`]); the connection reader
+//! blocks when that channel fills, which propagates backpressure to
+//! the client's socket. The deterministic simulator drives the same
+//! machine one command at a time through [`SessionStepper`], so
+//! out-of-order and post-failure command sequences are pinned by
+//! replayable tests.
 
 use crate::protocol::{ErrorCode, ProfileSnapshot, ServerMessage, SessionOptions};
 use bytes::Bytes;
 use rdx_core::{RdxRunner, RdxtInput};
 use rdx_trace::io::RecordScanner;
 use rdx_trace::{TraceError, TraceReader};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 /// Fixed-width part of the RDXT header: magic, version, name length,
 /// record count. The full header is this plus the name bytes.
@@ -29,7 +34,7 @@ const HEADER_FIXED: usize = 4 + 4 + 4 + 8;
 
 /// Commands the connection reader forwards to a session worker.
 #[derive(Debug)]
-pub(crate) enum SessionCmd {
+pub enum SessionCmd {
     /// More trace bytes.
     Chunk(Bytes),
     /// Acknowledge ingestion of everything sent so far.
@@ -42,7 +47,7 @@ pub(crate) enum SessionCmd {
     Close,
 }
 
-/// One session's state, run on a dedicated thread.
+/// One session's identity and reply plumbing.
 pub(crate) struct SessionWorker {
     pub(crate) id: u32,
     pub(crate) name: String,
@@ -64,103 +69,118 @@ enum Scan {
     },
 }
 
-impl SessionWorker {
-    pub(crate) fn run(self, rx: &Receiver<SessionCmd>) {
-        let mut buf: Vec<u8> = Vec::new();
-        let mut scan = Scan::AwaitingHeader;
-        let mut failure: Option<ErrorCode> = None;
-        while let Ok(cmd) = rx.recv() {
-            match cmd {
-                SessionCmd::Chunk(bytes) => {
-                    if failure.is_some() {
-                        // The error was already reported; drain quietly.
-                        continue;
-                    }
-                    if let Err(code) = self.ingest(&mut buf, &mut scan, &bytes) {
-                        failure = Some(code);
-                        buf = Vec::new();
-                    }
+/// The session's mutable state, advanced one command per
+/// [`handle`](SessionState::handle) call.
+struct SessionState {
+    buf: Vec<u8>,
+    scan: Scan,
+    failure: Option<ErrorCode>,
+}
+
+impl SessionState {
+    fn new() -> Self {
+        SessionState {
+            buf: Vec::new(),
+            scan: Scan::AwaitingHeader,
+            failure: None,
+        }
+    }
+
+    /// Applies one command, sending any reply through `w.out`. Returns
+    /// `false` once the session is over (after `Close`).
+    fn handle(&mut self, w: &SessionWorker, cmd: SessionCmd) -> bool {
+        match cmd {
+            SessionCmd::Chunk(bytes) => {
+                if self.failure.is_some() {
+                    // The error was already reported; drain quietly.
+                    return true;
                 }
-                SessionCmd::Flush => {
-                    if let Some(code) = failure {
-                        self.send_failed(code);
-                    } else {
-                        self.send(&ServerMessage::Flushed {
-                            session: self.id,
-                            received_bytes: buf.len() as u64,
-                            records: records_so_far(&scan),
-                        });
-                    }
+                if let Err(code) = self.ingest(w, &bytes) {
+                    self.failure = Some(code);
+                    self.buf = Vec::new();
                 }
-                SessionCmd::SnapshotHistogram => {
-                    if let Some(code) = failure {
-                        self.send_failed(code);
-                    } else {
-                        match self.profile(&buf, &scan) {
-                            Some((profile, _clean)) => {
-                                rdx_metrics::counter("rdx.server.snapshots").incr();
-                                self.send(&ServerMessage::Histogram {
-                                    session: self.id,
-                                    profile,
-                                });
-                            }
-                            None => self.send_error(
-                                ErrorCode::NotReady,
-                                "no complete trace header received yet",
-                            ),
-                        }
-                    }
-                }
-                SessionCmd::SnapshotMetrics => {
-                    if let Some(code) = failure {
-                        self.send_failed(code);
-                    } else {
-                        self.send(&ServerMessage::Metrics {
-                            session: self.id,
-                            received_bytes: buf.len() as u64,
-                            records: records_so_far(&scan),
-                            registry_json: rdx_metrics::snapshot().to_json(),
-                        });
-                    }
-                }
-                SessionCmd::Close => {
-                    let (clean, profile) = if failure.is_some() {
-                        (false, ProfileSnapshot::default())
-                    } else {
-                        match self.profile(&buf, &scan) {
-                            Some((profile, clean)) => (clean, profile),
-                            None => (false, ProfileSnapshot::default()),
-                        }
-                    };
-                    self.send(&ServerMessage::SessionClosed {
-                        session: self.id,
-                        clean,
-                        profile,
+                true
+            }
+            SessionCmd::Flush => {
+                if let Some(code) = self.failure {
+                    w.send_failed(code);
+                } else {
+                    w.send(&ServerMessage::Flushed {
+                        session: w.id,
+                        received_bytes: self.buf.len() as u64,
+                        records: records_so_far(&self.scan),
                     });
-                    break;
                 }
+                true
+            }
+            SessionCmd::SnapshotHistogram => {
+                if let Some(code) = self.failure {
+                    w.send_failed(code);
+                } else {
+                    match self.profile(w) {
+                        Some((profile, _clean)) => {
+                            rdx_metrics::counter("rdx.server.snapshots").incr();
+                            w.send(&ServerMessage::Histogram {
+                                session: w.id,
+                                profile,
+                            });
+                        }
+                        None => w.send_error(
+                            ErrorCode::NotReady,
+                            "no complete trace header received yet",
+                        ),
+                    }
+                }
+                true
+            }
+            SessionCmd::SnapshotMetrics => {
+                if let Some(code) = self.failure {
+                    w.send_failed(code);
+                } else {
+                    w.send(&ServerMessage::Metrics {
+                        session: w.id,
+                        received_bytes: self.buf.len() as u64,
+                        records: records_so_far(&self.scan),
+                        registry_json: rdx_metrics::snapshot().to_json(),
+                    });
+                }
+                true
+            }
+            SessionCmd::Close => {
+                let (clean, profile) = if self.failure.is_some() {
+                    (false, ProfileSnapshot::default())
+                } else {
+                    match self.profile(w) {
+                        Some((profile, clean)) => (clean, profile),
+                        None => (false, ProfileSnapshot::default()),
+                    }
+                };
+                w.send(&ServerMessage::SessionClosed {
+                    session: w.id,
+                    clean,
+                    profile,
+                });
+                false
             }
         }
-        // Reached on Close and on command-channel disconnect (the
-        // connection went away); either way the session is over.
-        rdx_metrics::counter("rdx.server.sessions_closed").incr();
     }
 
     /// Appends a chunk, keeping header/record validation current.
     /// Returns the failure class on budget overflow or corruption (the
     /// error frame is sent here, with the trace-level detail).
-    fn ingest(&self, buf: &mut Vec<u8>, scan: &mut Scan, bytes: &[u8]) -> Result<(), ErrorCode> {
-        if buf.len().saturating_add(bytes.len()) > self.max_bytes {
-            self.send_error(
+    fn ingest(&mut self, w: &SessionWorker, bytes: &[u8]) -> Result<(), ErrorCode> {
+        let buf = &mut self.buf;
+        if buf.len().saturating_add(bytes.len()) > w.max_bytes {
+            w.send_error(
                 ErrorCode::Overflow,
-                &format!("session exceeds {} buffered bytes", self.max_bytes),
+                &format!("session exceeds {} buffered bytes", w.max_bytes),
             );
             return Err(ErrorCode::Overflow);
         }
         rdx_metrics::counter("rdx.server.chunk_bytes").add(bytes.len() as u64);
         let scanned_to = buf.len();
         buf.extend_from_slice(bytes);
-        if let Scan::AwaitingHeader = scan {
+        if let Scan::AwaitingHeader = self.scan {
             if buf.len() < HEADER_FIXED {
                 return Ok(()); // not even a fixed header yet
             }
@@ -169,10 +189,10 @@ impl SessionWorker {
                     let header_end = HEADER_FIXED + reader.name().len();
                     let mut scanner = RecordScanner::new();
                     if let Err(e) = scanner.scan(&buf[header_end..]) {
-                        self.send_trace_error(&e);
+                        w.send_trace_error(&e);
                         return Err(ErrorCode::MalformedTrace);
                     }
-                    *scan = Scan::Records {
+                    self.scan = Scan::Records {
                         header_end,
                         scanner,
                     };
@@ -180,7 +200,7 @@ impl SessionWorker {
                 // A short name field just needs more bytes.
                 Err(TraceError::Truncated) => {}
                 Err(e) => {
-                    self.send_trace_error(&e);
+                    w.send_trace_error(&e);
                     return Err(ErrorCode::MalformedTrace);
                 }
             }
@@ -189,11 +209,11 @@ impl SessionWorker {
         if let Scan::Records {
             header_end,
             scanner,
-        } = scan
+        } = &mut self.scan
         {
             let from = scanned_to.max(*header_end);
             if let Err(e) = scanner.scan(&buf[from..]) {
-                self.send_trace_error(&e);
+                w.send_trace_error(&e);
                 return Err(ErrorCode::MalformedTrace);
             }
         }
@@ -204,14 +224,28 @@ impl SessionWorker {
     /// machinery. `None` until a complete header has arrived. The bool
     /// is the clean-decode verdict (all declared records, no trailing
     /// data, no corruption).
-    fn profile(&self, buf: &[u8], scan: &Scan) -> Option<(ProfileSnapshot, bool)> {
-        if let Scan::AwaitingHeader = scan {
+    fn profile(&self, w: &SessionWorker) -> Option<(ProfileSnapshot, bool)> {
+        if let Scan::AwaitingHeader = self.scan {
             return None;
         }
-        let input = RdxtInput::from_bytes(self.name.clone(), Bytes::from(buf.to_vec())).ok()?;
-        let runner = RdxRunner::new(self.opts.config());
-        let (profile, verdict) = runner.profile_rdxt(input, &self.opts.ingest());
+        let input = RdxtInput::from_bytes(w.name.clone(), Bytes::from(self.buf.clone())).ok()?;
+        let runner = RdxRunner::new(w.opts.config());
+        let (profile, verdict) = runner.profile_rdxt(input, &w.opts.ingest());
         Some((ProfileSnapshot::from_profile(&profile), verdict.is_ok()))
+    }
+}
+
+impl SessionWorker {
+    pub(crate) fn run(self, rx: &Receiver<SessionCmd>) {
+        let mut state = SessionState::new();
+        while let Ok(cmd) = rx.recv() {
+            if !state.handle(&self, cmd) {
+                break;
+            }
+        }
+        // Reached on Close and on command-channel disconnect (the
+        // connection went away); either way the session is over.
+        rdx_metrics::counter("rdx.server.sessions_closed").incr();
     }
 
     fn send(&self, msg: &ServerMessage) {
@@ -245,5 +279,105 @@ fn records_so_far(scan: &Scan) -> u64 {
     match scan {
         Scan::AwaitingHeader => 0,
         Scan::Records { scanner, .. } => scanner.records(),
+    }
+}
+
+/// What one [`SessionStepper::step`] produced.
+#[derive(Debug)]
+pub enum SessionEvent {
+    /// A reply frame the connection would have written to the client,
+    /// decoded.
+    Reply(ServerMessage),
+    /// The session terminated (the command was `Close`).
+    Closed,
+}
+
+/// A session state machine driven one command at a time on the
+/// caller's thread — no worker thread, no connection, no clock.
+///
+/// This is the exact machine [`SessionWorker::run`] loops on its
+/// dedicated thread; the deterministic simulator uses the stepper to
+/// replay chosen command interleavings (chunk boundaries mid-varint,
+/// snapshots after failure, out-of-order close) and assert on the
+/// decoded replies.
+pub struct SessionStepper {
+    worker: SessionWorker,
+    state: SessionState,
+    rx: Receiver<Bytes>,
+    closed: bool,
+}
+
+impl SessionStepper {
+    /// A stepper for one session. `opts` should already be validated
+    /// (see [`SessionOptions::validate`]); `max_bytes` is the session's
+    /// buffered-bytes budget.
+    #[must_use]
+    pub fn new(id: u32, name: impl Into<String>, opts: SessionOptions, max_bytes: usize) -> Self {
+        // One command emits at most one reply frame and every step
+        // drains the queue, so capacity 4 makes sends non-blocking:
+        // a single-threaded stepper can never deadlock on its own
+        // output.
+        let (out, rx) = sync_channel::<Bytes>(4);
+        SessionStepper {
+            worker: SessionWorker {
+                id,
+                name: name.into(),
+                opts,
+                out,
+                max_bytes,
+            },
+            state: SessionState::new(),
+            rx,
+            closed: false,
+        }
+    }
+
+    /// Applies one command and returns the events it produced, in
+    /// order. Commands after `Close` produce nothing (the real worker
+    /// is gone by then: its channel is disconnected).
+    pub fn step(&mut self, cmd: SessionCmd) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        if self.closed {
+            return events;
+        }
+        if !self.state.handle(&self.worker, cmd) {
+            self.closed = true;
+        }
+        while let Ok(payload) = self.rx.try_recv() {
+            // Frames come from ServerMessage::encode, so decode cannot
+            // fail; stay panic-free regardless.
+            debug_assert!(ServerMessage::decode(payload.clone()).is_ok());
+            if let Ok(msg) = ServerMessage::decode(payload) {
+                events.push(SessionEvent::Reply(msg));
+            }
+        }
+        if self.closed {
+            events.push(SessionEvent::Closed);
+        }
+        events
+    }
+
+    /// True once a `Close` command has been applied.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Bytes buffered so far (zero after a failure cleared the buffer).
+    #[must_use]
+    pub fn received_bytes(&self) -> u64 {
+        self.state.buf.len() as u64
+    }
+
+    /// Complete records validated so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        records_so_far(&self.state.scan)
+    }
+
+    /// The sticky failure class, if the session has failed.
+    #[must_use]
+    pub fn failure(&self) -> Option<ErrorCode> {
+        self.state.failure
     }
 }

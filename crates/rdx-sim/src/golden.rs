@@ -1,0 +1,128 @@
+//! Virtual-pipeline reproduction of the registry golden digest.
+//!
+//! The repo pins one FNV-1a digest over the reference workload suite's
+//! profiles — `metrics_determinism.rs` from in-memory streams,
+//! `fastpath_equivalence.rs` through the chunk fast path,
+//! `ingest_golden.rs` through the real threaded decode-ahead pipeline.
+//! This module is the fourth execution shape: the production
+//! [`rdx_trace::PipelinedReader`] over a schedule-driven [`SimLink`]
+//! instead of a decoder thread. Fault-free, every schedule must land on
+//! the same bits, so `rdx sim` proves end to end that scheduling freedom
+//! never leaks into results.
+
+use crate::pipeline::SimLink;
+use crate::sched::shared;
+use crate::{SeededPicker, Violation};
+use rdx_core::{RdxConfig, RdxRunner};
+use rdx_histogram::Histogram;
+use rdx_trace::{io, PipelinedReader, Trace, TraceReader};
+use rdx_workloads::{suite, Params};
+
+/// FNV-1a over u64 words — the same digest the golden tests use.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn push_histogram(&mut self, h: &Histogram) {
+        for b in h.buckets() {
+            self.push(b.range.lo);
+            self.push(b.range.hi);
+            self.push(b.weight.to_bits());
+        }
+        self.push(h.infinite_weight().to_bits());
+    }
+}
+
+/// Chunk capacity for the virtual pipeline: odd and small, so chunk
+/// borders straddle PMU overflow gaps and armed-watchpoint lifetimes
+/// (matching the adversarial capacity the golden ingest test uses).
+const CAPACITY: usize = 777;
+/// Ring depth for the virtual pipeline.
+const DEPTH: usize = 3;
+
+/// Profiles the reference suite through the *virtual* decode-ahead
+/// pipeline (production `PipelinedReader`, schedule from `seed`) and
+/// digests the registry exactly like the golden tests do.
+///
+/// # Errors
+///
+/// [`Violation`] if any workload's virtual decode does not finish
+/// cleanly — the digest would be meaningless on a partial profile.
+pub fn registry_digest_virtual(seed: u64) -> Result<u64, Violation> {
+    let params = Params::default().with_accesses(60_000).with_elements(800);
+    let config = RdxConfig::default().with_period(512).with_seed(7);
+    let runner = RdxRunner::new(config);
+    let mut digest = Digest::new();
+    for (i, w) in suite().iter().enumerate() {
+        let trace = Trace::from_stream(w.name, w.stream(&params));
+        let raw = io::to_bytes(&trace);
+        let reader = match TraceReader::new(raw) {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(Violation::seeded(
+                    "golden-roundtrip",
+                    seed,
+                    format!("{}: serialized suite trace failed to parse: {e}", w.name),
+                ));
+            }
+        };
+        let declared = reader.declared_len();
+        // Each workload gets its own schedule stream derived from the
+        // run seed, so one `rdx sim` invocation samples distinct
+        // interleavings per workload.
+        let picker = shared(SeededPicker::new(
+            seed ^ (i as u64).wrapping_mul(0x9e37_79b9),
+        ));
+        let link = SimLink::new(reader, CAPACITY, DEPTH, picker, None);
+        let mut piped = PipelinedReader::with_virtual_link(w.name, declared, Box::new(link));
+        let p = runner.profile(&mut piped);
+        if let Err(e) = piped.finish() {
+            return Err(Violation::seeded(
+                "golden-clean-finish",
+                seed,
+                format!("{}: virtual pipeline did not finish cleanly: {e}", w.name),
+            ));
+        }
+        digest.push_histogram(p.rd.as_histogram());
+        digest.push_histogram(p.rt.as_histogram());
+        digest.push(p.samples);
+        digest.push(p.traps);
+        digest.push(p.evictions);
+        digest.push(p.m_estimate.to_bits());
+    }
+    Ok(digest.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::REGISTRY_GOLDEN_DIGEST;
+
+    #[test]
+    fn virtual_pipeline_reproduces_registry_golden_digest() {
+        let got = registry_digest_virtual(0).expect("clean virtual decode");
+        assert_eq!(
+            got, REGISTRY_GOLDEN_DIGEST,
+            "virtual-pipeline registry digest {got:#018x} deviates from the \
+             pinned baseline — scheduling freedom must never change results",
+        );
+    }
+
+    #[test]
+    fn digest_is_schedule_independent() {
+        let a = registry_digest_virtual(1).expect("clean virtual decode");
+        let b = registry_digest_virtual(0xdead_beef).expect("clean virtual decode");
+        assert_eq!(a, b, "two different schedules produced different digests");
+        assert_eq!(a, REGISTRY_GOLDEN_DIGEST);
+    }
+}

@@ -1,0 +1,501 @@
+//! Virtual scheduling of the pipelined decode-ahead reader.
+//!
+//! [`SimLink`] implements [`rdx_trace::VirtualLink`]: it owns the real
+//! [`DecoderTask`] plus virtual ring/data queues with the same bounds
+//! as the production channels, and lets the schedule decide — at every
+//! point where the real decoder thread and consumer race — whether the
+//! decoder runs another turn or the consumer receives. The
+//! [`PipelinedReader`] under test is the production type running its
+//! production consumer logic; only the thread and the channels are
+//! virtual, so every interleaving the OS could produce (and the fault
+//! interleavings it practically never produces) is replayable on one
+//! thread from a seed.
+//!
+//! Invariants asserted across all schedules:
+//!
+//! * fault-free: the delivered access sequence equals the scalar
+//!   oracle's, bit for bit, and `finish()` is `Ok`;
+//! * corrupt input: the decoded prefix is delivered *before* the
+//!   parked typed error, and the error kind matches the oracle's
+//!   (`Truncated` / `Malformed`);
+//! * decoder death without a verdict: the reader reports
+//!   `TraceError::Internal` — never `Truncated`, which would blame the
+//!   input for an infrastructure failure (the bug this harness was
+//!   built to catch);
+//! * the run always terminates: virtual queues are bounded exactly like
+//!   the real ones, so a schedule that deadlocked would hang the sim —
+//!   completion *is* the no-deadlock proof.
+
+use crate::fault::{self, InputFault};
+use crate::rng::SplitMix64;
+use crate::sched::{pick_shared, shared, SeededPicker, SharedPicker};
+use crate::{explore_exhaustive, Violation};
+use bytes::Bytes;
+use rdx_trace::{
+    io, Access, AccessStream, Chunk, DecodeMsg, DecodeTurn, DecoderTask, PipelinedReader, Trace,
+    TraceError, TraceReader, VirtualLink,
+};
+use std::collections::VecDeque;
+
+/// A virtual decoder link: the production [`DecoderTask`] over
+/// schedule-driven bounded queues instead of a thread and channels.
+pub struct SimLink {
+    task: DecoderTask,
+    /// Recycled buffers waiting for the decoder (the ring direction),
+    /// preloaded to `depth` like the real constructor.
+    ring: VecDeque<Chunk>,
+    /// Decoded messages waiting for the consumer (the data direction).
+    data: VecDeque<DecodeMsg>,
+    /// Data-queue bound: `depth + 1`, matching the real channel (depth
+    /// chunks in flight plus the final `End`).
+    max_data: usize,
+    picker: SharedPicker,
+    /// Fault: the decoder dies (stops producing, queued messages
+    /// survive — exactly like a real thread death) after this many
+    /// turns.
+    kill_after_turns: Option<usize>,
+    turns: usize,
+    dead: bool,
+}
+
+impl SimLink {
+    /// A link decoding `reader` with the given chunk capacity and ring
+    /// depth (clamped to ≥ 2, like the real constructor), scheduled by
+    /// `picker`. `kill_after_turns` injects decoder death.
+    #[must_use]
+    pub fn new(
+        reader: TraceReader,
+        capacity: usize,
+        depth: usize,
+        picker: SharedPicker,
+        kill_after_turns: Option<usize>,
+    ) -> Self {
+        let depth = depth.max(2);
+        SimLink {
+            task: DecoderTask::new(reader, capacity),
+            ring: (0..depth).map(|_| Chunk::default()).collect(),
+            data: VecDeque::new(),
+            max_data: depth + 1,
+            picker,
+            kill_after_turns,
+            turns: 0,
+            dead: false,
+        }
+    }
+
+    /// One decoder turn: consume a ring buffer, queue what it decoded.
+    /// The death fault takes effect here — before the turn runs, like
+    /// a thread dying between loop iterations.
+    fn run_turn(&mut self) {
+        if self.kill_after_turns.is_some_and(|k| self.turns >= k) {
+            self.dead = true;
+            return;
+        }
+        self.turns += 1;
+        let Some(buf) = self.ring.pop_front() else {
+            return;
+        };
+        match self.task.step(buf) {
+            DecodeTurn::More(chunk) => self.data.push_back(DecodeMsg::Chunk(chunk)),
+            DecodeTurn::Done { prefix, verdict } => {
+                if let Some(chunk) = prefix {
+                    self.data.push_back(DecodeMsg::Chunk(chunk));
+                }
+                self.data.push_back(DecodeMsg::End(verdict));
+            }
+        }
+    }
+}
+
+impl VirtualLink for SimLink {
+    fn recycle(&mut self, chunk: Chunk) {
+        if self.dead {
+            return; // sends to a dead decoder vanish
+        }
+        self.ring.push_back(chunk);
+    }
+
+    fn pull(&mut self) -> Option<DecodeMsg> {
+        loop {
+            let can_decode = !self.dead
+                && !self.task.is_done()
+                && !self.ring.is_empty()
+                && self.data.len() < self.max_data;
+            let can_deliver = !self.data.is_empty();
+            match (can_decode, can_deliver) {
+                // The race the real threads run: does the decoder get
+                // ahead, or does the consumer receive first? The
+                // schedule decides.
+                (true, true) => {
+                    if pick_shared(&self.picker, 2) == 0 {
+                        self.run_turn();
+                    } else {
+                        return self.data.pop_front();
+                    }
+                }
+                // Consumer blocked on an empty data channel (the
+                // `decode.stalls` path): the decoder must run.
+                (true, false) => self.run_turn(),
+                // Decoder blocked (ring empty or data full — the
+                // backpressure bound): the consumer receives.
+                (false, true) => return self.data.pop_front(),
+                // Nothing can move: the decoder is done (End already
+                // delivered) or dead — a dead channel, reaped by the
+                // production consumer logic.
+                (false, false) => return None,
+            }
+        }
+    }
+}
+
+/// Coarse error classification for oracle comparison ([`TraceError`]
+/// carries non-comparable payloads like `io::Error`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// `TraceError::Truncated`
+    Truncated,
+    /// `TraceError::Malformed`
+    Malformed,
+    /// `TraceError::TrailingData`
+    TrailingData,
+    /// `TraceError::Internal`
+    Internal,
+    /// Anything else.
+    Other,
+}
+
+/// Classifies a [`TraceError`].
+#[must_use]
+pub fn kind(e: &TraceError) -> ErrKind {
+    match e {
+        TraceError::Truncated => ErrKind::Truncated,
+        TraceError::Malformed => ErrKind::Malformed,
+        TraceError::TrailingData(_) => ErrKind::TrailingData,
+        TraceError::Internal(_) => ErrKind::Internal,
+        _ => ErrKind::Other,
+    }
+}
+
+/// What a pipeline run (virtual or oracle) produced.
+#[derive(Debug, PartialEq)]
+pub struct Outcome {
+    /// Every access delivered, in order.
+    pub delivered: Vec<Access>,
+    /// The parked error kind, if the stream ended on one.
+    pub error: Option<ErrKind>,
+    /// `finish()`'s verdict, classified.
+    pub finish: Result<(), ErrKind>,
+}
+
+/// The scalar oracle: the same bytes through a plain [`TraceReader`],
+/// one access at a time, no pipeline.
+#[must_use]
+pub fn oracle(bytes: &Bytes) -> Outcome {
+    let Ok(mut reader) = TraceReader::new(bytes.clone()) else {
+        return Outcome {
+            delivered: Vec::new(),
+            error: Some(ErrKind::Other),
+            finish: Err(ErrKind::Other),
+        };
+    };
+    let mut delivered = Vec::new();
+    while let Some(a) = reader.next_access() {
+        delivered.push(a);
+    }
+    let error = reader.error().map(kind);
+    let finish = reader.finish().map_err(|e| kind(&e));
+    Outcome {
+        delivered,
+        error,
+        finish,
+    }
+}
+
+/// Runs the production [`PipelinedReader`] over a [`SimLink`] and
+/// reports what it delivered.
+#[must_use]
+pub fn run_virtual(
+    bytes: &Bytes,
+    capacity: usize,
+    depth: usize,
+    picker: SharedPicker,
+    kill_after_turns: Option<usize>,
+) -> Outcome {
+    let Ok(reader) = TraceReader::new(bytes.clone()) else {
+        return Outcome {
+            delivered: Vec::new(),
+            error: Some(ErrKind::Other),
+            finish: Err(ErrKind::Other),
+        };
+    };
+    let declared = reader.declared_len();
+    let link = SimLink::new(reader, capacity, depth, picker, kill_after_turns);
+    let mut piped = PipelinedReader::with_virtual_link("sim", declared, Box::new(link));
+    let mut delivered = Vec::new();
+    while let Some(a) = piped.next_access() {
+        delivered.push(a);
+    }
+    let error = piped.error().map(kind);
+    let finish = piped.finish().map_err(|e| kind(&e));
+    Outcome {
+        delivered,
+        error,
+        finish,
+    }
+}
+
+/// A synthetic trace whose shape is fully determined by `rng`.
+fn synthetic_trace(rng: &mut SplitMix64, min_len: usize, max_len: usize) -> Bytes {
+    let len = min_len + rng.below(max_len.saturating_sub(min_len).max(1));
+    let stride = 8 + rng.below(120) as u64;
+    let span = 16 + rng.below(2048) as u64;
+    let t = Trace::from_addresses(
+        "sim",
+        (0..len as u64).map(|i| (i.wrapping_mul(stride)) % (span * stride)),
+    );
+    io::to_bytes(&t)
+}
+
+/// Scenario geometry derived from a seed (distinct stream from the
+/// schedule picker so geometry and schedule vary independently).
+fn geometry(seed: u64) -> (SplitMix64, usize, usize) {
+    let mut rng = SplitMix64::new(seed ^ 0x9e00_5eed_0000_0001);
+    let capacity = 1 + rng.below(63);
+    let depth = 2 + rng.below(3);
+    (rng, capacity, depth)
+}
+
+/// Fault-free invariant under one seeded schedule: the virtual
+/// pipeline equals the scalar oracle exactly.
+///
+/// # Errors
+///
+/// [`Violation`] with the seed on any divergence.
+pub fn run_clean_seeded(seed: u64) -> Result<(), Violation> {
+    let (mut rng, capacity, depth) = geometry(seed);
+    let bytes = synthetic_trace(&mut rng, 50, 1200);
+    let want = oracle(&bytes);
+    let got = run_virtual(
+        &bytes,
+        capacity,
+        depth,
+        shared(SeededPicker::new(seed)),
+        None,
+    );
+    if got != want {
+        return Err(Violation::seeded(
+            "pipeline-clean-oracle",
+            seed,
+            format!(
+                "virtual pipeline diverged from scalar oracle: got {} accesses \
+                 (error {:?}, finish {:?}), want {} (error {:?}, finish {:?})",
+                got.delivered.len(),
+                got.error,
+                got.finish,
+                want.delivered.len(),
+                want.error,
+                want.finish,
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Corrupt-input invariant under one seeded schedule: the decoded
+/// prefix is delivered, then the same typed error the oracle parks.
+///
+/// # Errors
+///
+/// [`Violation`] with the seed on any divergence.
+pub fn run_faulted_seeded(seed: u64, input_fault: InputFault) -> Result<(), Violation> {
+    let (mut rng, capacity, depth) = geometry(seed);
+    let clean = synthetic_trace(&mut rng, 50, 1200);
+    let cut = 1 + rng.below(clean.len().saturating_sub(21).max(1));
+    let bytes = fault::apply(input_fault, &clean, cut);
+    let want = oracle(&bytes);
+    let expect_kind = match input_fault {
+        InputFault::TruncateTail => ErrKind::Truncated,
+        InputFault::OverlongVarint => ErrKind::Malformed,
+    };
+    if want.error != Some(expect_kind) {
+        return Err(Violation::seeded(
+            "pipeline-fault-oracle",
+            seed,
+            format!(
+                "oracle parked {:?} for injected {input_fault:?} (expected {expect_kind:?})",
+                want.error
+            ),
+        ));
+    }
+    let got = run_virtual(
+        &bytes,
+        capacity,
+        depth,
+        shared(SeededPicker::new(seed)),
+        None,
+    );
+    if got != want {
+        return Err(Violation::seeded(
+            "pipeline-prefix-then-error",
+            seed,
+            format!(
+                "under {input_fault:?}: virtual delivered {} accesses with error {:?} \
+                 (finish {:?}); oracle delivered {} with error {:?} (finish {:?})",
+                got.delivered.len(),
+                got.error,
+                got.finish,
+                want.delivered.len(),
+                want.error,
+                want.finish,
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Decoder-death invariant under one seeded schedule: a decoder that
+/// dies without a verdict yields `TraceError::Internal` (never
+/// `Truncated` — the input is valid) after delivering a prefix of the
+/// oracle sequence. A death scheduled after the verdict was already
+/// queued is indistinguishable from a clean run, which is also legal.
+///
+/// # Errors
+///
+/// [`Violation`] with the seed on any divergence.
+pub fn run_worker_death_seeded(seed: u64) -> Result<(), Violation> {
+    let (mut rng, capacity, depth) = geometry(seed);
+    let bytes = synthetic_trace(&mut rng, 50, 1200);
+    let want = oracle(&bytes);
+    // Enough turns to sometimes die mid-stream and sometimes not.
+    let turns_needed = want.delivered.len() / capacity.max(1) + 2;
+    let kill_after = rng.below(turns_needed.max(1));
+    let got = run_virtual(
+        &bytes,
+        capacity,
+        depth,
+        shared(SeededPicker::new(seed)),
+        Some(kill_after),
+    );
+    match got.finish {
+        Ok(()) => {
+            // Death landed after the verdict: must look exactly clean.
+            if got != want {
+                return Err(Violation::seeded(
+                    "pipeline-death-after-verdict",
+                    seed,
+                    format!(
+                        "run finished Ok but diverged from oracle: {} vs {} accesses",
+                        got.delivered.len(),
+                        want.delivered.len()
+                    ),
+                ));
+            }
+        }
+        Err(kind) => {
+            if kind != ErrKind::Internal {
+                return Err(Violation::seeded(
+                    "pipeline-death-is-internal",
+                    seed,
+                    format!(
+                        "decoder death after {kill_after} turns was reported as {kind:?} — \
+                         infrastructure failure must be Internal, never blamed on the input"
+                    ),
+                ));
+            }
+            if got.delivered.as_slice()
+                != &want.delivered[..got.delivered.len().min(want.delivered.len())]
+                || got.delivered.len() > want.delivered.len()
+            {
+                return Err(Violation::seeded(
+                    "pipeline-death-prefix",
+                    seed,
+                    format!(
+                        "delivered sequence after decoder death is not an oracle prefix \
+                         ({} delivered, oracle {})",
+                        got.delivered.len(),
+                        want.delivered.len()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustive fault-free exploration of a tiny scenario: every
+/// schedule of a 6-access trace through single-access chunks and a
+/// depth-2 ring must match the oracle (capacity 1 maximizes decoder
+/// turns, so every decoder/consumer race point is in the tree).
+/// Returns the number of schedules explored.
+///
+/// # Errors
+///
+/// [`Violation`] on the first schedule that diverges.
+pub fn explore_clean_exhaustive(limit: usize) -> Result<usize, Violation> {
+    let t = Trace::from_addresses("tiny", [0u64, 64, 128, 0, 64, 192]);
+    let bytes = io::to_bytes(&t);
+    let want = oracle(&bytes);
+    explore_exhaustive(limit, |picker| {
+        let got = run_virtual(&bytes, 1, 2, picker, None);
+        if got != want {
+            return Err(Violation {
+                invariant: "pipeline-clean-exhaustive",
+                seed: None,
+                detail: format!(
+                    "a schedule diverged from the oracle: {} vs {} accesses",
+                    got.delivered.len(),
+                    want.delivered.len()
+                ),
+            });
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_seeds_match_oracle() {
+        for seed in 0..32 {
+            run_clean_seeded(seed).expect("clean schedule matches oracle");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let (mut rng, capacity, depth) = geometry(7);
+        let bytes = synthetic_trace(&mut rng, 50, 400);
+        let a = run_virtual(
+            &bytes,
+            capacity,
+            depth,
+            shared(SeededPicker::new(7)),
+            Some(3),
+        );
+        let b = run_virtual(
+            &bytes,
+            capacity,
+            depth,
+            shared(SeededPicker::new(7)),
+            Some(3),
+        );
+        assert_eq!(a, b, "identical seed must replay identically");
+    }
+
+    #[test]
+    fn exhaustive_tiny_scenario_has_multiple_schedules() {
+        let n = explore_clean_exhaustive(4096).expect("all schedules clean");
+        assert!(n > 1, "expected a real schedule tree, got {n}");
+    }
+
+    #[test]
+    fn worker_death_reports_internal() {
+        // At least one seed in this range must hit a mid-stream death;
+        // the invariant checks happen inside the runner.
+        for seed in 0..64 {
+            run_worker_death_seeded(seed).expect("death handled as Internal");
+        }
+    }
+}

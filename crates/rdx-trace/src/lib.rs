@@ -57,7 +57,9 @@ pub use chunk::{Chunk, Chunked, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
 pub use frame::{FrameError, PayloadReader, PayloadWriter, MAX_FRAME_LEN};
 pub use io::{RecordScanner, TraceError, TraceReader, MAX_NAME_LEN};
-pub use pipeline::{PipelineOptions, PipelinedReader};
+pub use pipeline::{
+    DecodeMsg, DecodeTurn, DecoderTask, PipelineOptions, PipelinedReader, VirtualLink,
+};
 pub use stats::TraceStats;
 pub use stream::{AccessStream, FnStream, Opaque, Take};
 pub use trace::{Trace, TraceStream};

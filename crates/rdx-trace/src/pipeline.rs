@@ -17,6 +17,14 @@
 //! consumer blocks when the decoder falls behind (no decoded chunk
 //! available yet — counted as `rdx.trace.decode.stalls`).
 //!
+//! The decode loop itself is a step machine, not a thread: one
+//! [`DecoderTask::step`] turns one recycled buffer into one
+//! [`DecodeTurn`]. The production path loops it on the `rdxt-decode`
+//! thread ([`run_decoder`]); the deterministic simulator (`rdx-sim`)
+//! single-steps the same task over virtual queues through a
+//! [`VirtualLink`], so every interleaving the real threads could produce
+//! can be replayed on one thread under a seeded schedule.
+//!
 //! Error and panic semantics mirror the rest of the stack:
 //!
 //! * Corrupt input is recovered at chunk granularity exactly like
@@ -27,6 +35,10 @@
 //!   (like `profile_batch` re-raises worker panics in task order — there
 //!   is a single decode task, so "task order" is simply "as soon as the
 //!   consumer notices").
+//! * A decoder that goes away *without* a verdict and *without* a panic
+//!   is an infrastructure failure, reported as
+//!   [`TraceError::Internal`] — never as `Truncated`, which would blame
+//!   the input for a pipeline fault.
 
 use crate::chunk::{Chunk, DEFAULT_CHUNK_CAPACITY};
 use crate::event::Access;
@@ -35,6 +47,9 @@ use crate::stream::AccessStream;
 use std::fmt;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::thread;
+
+/// Verdict parked when the decode link dies without delivering one.
+const DEAD_DECODER: &str = "decoder went away without delivering a verdict";
 
 /// Tuning knobs for [`PipelinedReader`].
 #[derive(Debug, Clone, Copy)]
@@ -72,47 +87,232 @@ impl PipelineOptions {
     }
 }
 
-/// What the decoder thread sends back to the consumer.
-enum Msg {
+/// What the decoder sends back to the consumer.
+#[derive(Debug)]
+pub enum DecodeMsg {
     /// A decoded, non-empty chunk.
     Chunk(Chunk),
-    /// The stream is over; `result` is [`TraceReader::finish`]'s verdict.
+    /// The stream is over; the payload is [`TraceReader::finish`]'s
+    /// verdict.
     End(Result<(), TraceError>),
 }
 
-/// Decoder-thread main loop: recycle a buffer, fill it, ship it.
-fn run_decoder(
-    mut reader: TraceReader,
+/// Outcome of one [`DecoderTask::step`].
+#[derive(Debug)]
+pub enum DecodeTurn {
+    /// A decoded, non-empty chunk; the stream continues.
+    More(Chunk),
+    /// The stream is over.
+    Done {
+        /// The decoded prefix of a chunk that failed mid-decode
+        /// (chunk-granularity recovery: it is delivered before the
+        /// verdict). `None` on clean EOF.
+        prefix: Option<Chunk>,
+        /// [`TraceReader::finish`]'s verdict.
+        verdict: Result<(), TraceError>,
+    },
+}
+
+/// The decode loop as an explicitly steppable state machine: one call
+/// to [`step`](DecoderTask::step) is one decoder turn — fill one
+/// recycled buffer, report what happened. [`run_decoder`] loops it on
+/// the decode thread; the deterministic simulator single-steps it.
+#[derive(Debug)]
+pub struct DecoderTask {
+    reader: Option<TraceReader>,
     capacity: usize,
-    ring: Receiver<Chunk>,
-    out: SyncSender<Msg>,
-) {
+}
+
+impl DecoderTask {
+    /// Wraps `reader` for stepping; `capacity` is the per-chunk access
+    /// budget (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(reader: TraceReader, capacity: usize) -> DecoderTask {
+        DecoderTask {
+            reader: Some(reader),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// True once a previous step returned [`DecodeTurn::Done`].
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.reader.is_none()
+    }
+
+    /// One decoder turn: decode up to the capacity into `chunk`
+    /// (reusing its buffer) and report the outcome. Stepping a task
+    /// that already finished yields a `Done` with an
+    /// [`TraceError::Internal`] verdict.
+    pub fn step(&mut self, mut chunk: Chunk) -> DecodeTurn {
+        let decoded = match self.reader.as_mut() {
+            Some(reader) => reader.decode_chunk(&mut chunk, self.capacity),
+            None => {
+                return DecodeTurn::Done {
+                    prefix: None,
+                    verdict: Err(TraceError::Internal("decoder stepped past its verdict")),
+                }
+            }
+        };
+        match decoded {
+            Ok(0) => DecodeTurn::Done {
+                prefix: None,
+                verdict: self.finish(),
+            },
+            Ok(_) => DecodeTurn::More(chunk),
+            Err(_) => {
+                // Chunk-granularity recovery: the valid prefix still
+                // flows downstream, then the parked error is reported.
+                let prefix = if chunk.is_empty() { None } else { Some(chunk) };
+                DecodeTurn::Done {
+                    prefix,
+                    verdict: self.finish(),
+                }
+            }
+        }
+    }
+
+    /// Consumes the reader and produces the final verdict.
+    fn finish(&mut self) -> Result<(), TraceError> {
+        match self.reader.take() {
+            Some(reader) => reader.finish(),
+            None => Err(TraceError::Internal("decoder stepped past its verdict")),
+        }
+    }
+}
+
+/// Decoder-thread main loop: recycle a buffer, step the task, ship the
+/// turn's output.
+fn run_decoder(mut task: DecoderTask, ring: &Receiver<Chunk>, out: &SyncSender<DecodeMsg>) {
     loop {
         // Blocking on a recycled buffer is the backpressure bound: with
         // the consumer holding the rest of the ring, the decoder cannot
         // run further than `depth` chunks ahead.
-        let Ok(mut chunk) = ring.recv() else {
+        let Ok(chunk) = ring.recv() else {
             return; // consumer hung up
         };
-        match reader.decode_chunk(&mut chunk, capacity) {
-            Ok(0) => {
-                let _ = out.send(Msg::End(reader.finish()));
-                return;
-            }
-            Ok(_) => {
-                if out.send(Msg::Chunk(chunk)).is_err() {
+        match task.step(chunk) {
+            DecodeTurn::More(chunk) => {
+                if out.send(DecodeMsg::Chunk(chunk)).is_err() {
                     return; // consumer hung up
                 }
             }
-            Err(_) => {
-                // Chunk-granularity recovery: the valid prefix still
-                // flows downstream, then the parked error is reported.
-                if !chunk.is_empty() && out.send(Msg::Chunk(chunk)).is_err() {
-                    return;
+            DecodeTurn::Done { prefix, verdict } => {
+                if let Some(chunk) = prefix {
+                    if out.send(DecodeMsg::Chunk(chunk)).is_err() {
+                        return;
+                    }
                 }
-                let _ = out.send(Msg::End(reader.finish()));
+                let _ = out.send(DecodeMsg::End(verdict));
                 return;
             }
+        }
+    }
+}
+
+/// The consumer side's view of a decoder driven by somebody else —
+/// the deterministic simulator's hook into [`PipelinedReader`].
+///
+/// Production backs the reader with real channels and the
+/// `rdxt-decode` thread; a virtual link substitutes single-threaded
+/// queues whose progress the caller schedules explicitly. The contract
+/// mirrors the channel pair:
+///
+/// * [`recycle`](VirtualLink::recycle) hands a drained buffer back for
+///   reuse (the ring direction). The link must never hold more buffers
+///   than its configured depth.
+/// * [`pull`](VirtualLink::pull) produces the next message, running as
+///   many decoder turns as its schedule dictates. Returning `None`
+///   means the decoder is gone without a verdict — the consumer treats
+///   it exactly like a dead channel (an [`TraceError::Internal`]
+///   verdict), which is how the simulator injects worker-death faults.
+pub trait VirtualLink: Send {
+    /// Hands a drained buffer back to the decoder for reuse.
+    fn recycle(&mut self, chunk: Chunk);
+    /// Produces the next decoder message, or `None` if the decoder is
+    /// gone without having delivered its verdict.
+    fn pull(&mut self) -> Option<DecodeMsg>;
+}
+
+/// The consumer's connection to its decoder: real channels plus a
+/// thread, or a simulator-driven virtual link.
+enum Link {
+    Threaded {
+        ring: Option<SyncSender<Chunk>>,
+        data: Option<Receiver<DecodeMsg>>,
+        worker: Option<thread::JoinHandle<()>>,
+    },
+    Virtual(Option<Box<dyn VirtualLink>>),
+}
+
+/// Outcome of one pull from the link.
+enum Pull {
+    Msg(DecodeMsg),
+    Dead,
+}
+
+impl Link {
+    /// Hands a drained buffer back; `true` if the decoder took it.
+    fn recycle(&mut self, chunk: Chunk) -> bool {
+        match self {
+            Link::Threaded { ring, .. } => {
+                ring.as_ref().is_some_and(|tx| tx.try_send(chunk).is_ok())
+            }
+            Link::Virtual(link) => match link.as_mut() {
+                Some(link) => {
+                    link.recycle(chunk);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Pulls the next message, blocking (threaded) or running decoder
+    /// turns (virtual) as needed.
+    fn pull(&mut self) -> Pull {
+        match self {
+            Link::Threaded { data, .. } => match data {
+                None => Pull::Dead,
+                Some(rx) => match rx.try_recv() {
+                    Ok(msg) => Pull::Msg(msg),
+                    Err(TryRecvError::Empty) => {
+                        // The decoder hasn't kept up; block for it.
+                        rdx_metrics::counter("rdx.trace.decode.stalls").incr();
+                        match rx.recv() {
+                            Ok(msg) => Pull::Msg(msg),
+                            Err(_) => Pull::Dead,
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => Pull::Dead,
+                },
+            },
+            Link::Virtual(link) => match link.as_mut() {
+                None => Pull::Dead,
+                Some(link) => match link.pull() {
+                    Some(msg) => Pull::Msg(msg),
+                    None => Pull::Dead,
+                },
+            },
+        }
+    }
+
+    /// Drops both directions so the decoder (if still alive) exits.
+    fn hang_up(&mut self) {
+        match self {
+            Link::Threaded { ring, data, .. } => {
+                *ring = None;
+                *data = None;
+            }
+            Link::Virtual(link) => *link = None,
+        }
+    }
+
+    /// Joins the decode thread if one exists and hasn't been joined.
+    fn join_worker(&mut self) -> Option<thread::Result<()>> {
+        match self {
+            Link::Threaded { worker, .. } => worker.take().map(thread::JoinHandle::join),
+            Link::Virtual(_) => None,
         }
     }
 }
@@ -130,9 +330,7 @@ fn run_decoder(
 pub struct PipelinedReader {
     name: String,
     declared: u64,
-    ring: Option<SyncSender<Chunk>>,
-    data: Option<Receiver<Msg>>,
-    worker: Option<thread::JoinHandle<()>>,
+    link: Link,
     current: Chunk,
     pos: usize,
     delivered: u64,
@@ -148,12 +346,6 @@ impl fmt::Debug for PipelinedReader {
             .field("done", &self.done)
             .finish_non_exhaustive()
     }
-}
-
-/// Outcome of one pull from the data channel.
-enum Pull {
-    Msg(Msg),
-    Dead,
 }
 
 impl PipelinedReader {
@@ -174,13 +366,14 @@ impl PipelinedReader {
         // `depth` in-flight chunks plus the final `End` message: sends
         // on the data channel can never block, so `drop` cannot
         // deadlock against a decoder stuck in `send`.
-        let (data_tx, data_rx) = sync_channel::<Msg>(depth + 1);
+        let (data_tx, data_rx) = sync_channel::<DecodeMsg>(depth + 1);
         for _ in 0..depth {
             let _ = ring_tx.send(Chunk::default());
         }
+        let task = DecoderTask::new(reader, capacity);
         let spawned = thread::Builder::new()
             .name("rdxt-decode".into())
-            .spawn(move || run_decoder(reader, capacity, ring_rx, data_tx));
+            .spawn(move || run_decoder(task, &ring_rx, &data_tx));
         let (worker, done) = match spawned {
             Ok(handle) => (Some(handle), None),
             // Spawn failure (resource exhaustion): surface it as a
@@ -190,13 +383,36 @@ impl PipelinedReader {
         PipelinedReader {
             name,
             declared,
-            ring: Some(ring_tx),
-            data: Some(data_rx),
-            worker,
+            link: Link::Threaded {
+                ring: Some(ring_tx),
+                data: Some(data_rx),
+                worker,
+            },
             current: Chunk::default(),
             pos: 0,
             delivered: 0,
             done,
+        }
+    }
+
+    /// A reader over a [`VirtualLink`]: no decoder thread, no real
+    /// channels — the link's owner (the deterministic simulator) runs
+    /// decoder turns on the calling thread, under its own schedule.
+    /// `name` and `declared` mirror the trace header the link decodes.
+    #[must_use]
+    pub fn with_virtual_link(
+        name: impl Into<String>,
+        declared: u64,
+        link: Box<dyn VirtualLink>,
+    ) -> Self {
+        PipelinedReader {
+            name: name.into(),
+            declared,
+            link: Link::Virtual(Some(link)),
+            current: Chunk::default(),
+            pos: 0,
+            delivered: 0,
+            done: None,
         }
     }
 
@@ -244,65 +460,39 @@ impl PipelinedReader {
             // Hand the drained buffer back to the decoder for reuse.
             if self.current.accesses.capacity() > 0 {
                 let buf = std::mem::take(&mut self.current);
-                let recycled = self
-                    .ring
-                    .as_ref()
-                    .is_some_and(|ring| ring.try_send(buf).is_ok());
-                if recycled {
+                if self.link.recycle(buf) {
                     rdx_metrics::counter("rdx.trace.decode.recycled_buffers").incr();
                 }
             } else {
                 self.current = Chunk::default();
             }
             self.pos = 0;
-            let pull = match &self.data {
-                None => Pull::Dead,
-                Some(rx) => match rx.try_recv() {
-                    Ok(msg) => Pull::Msg(msg),
-                    Err(TryRecvError::Empty) => {
-                        // The decoder hasn't kept up; block for it.
-                        rdx_metrics::counter("rdx.trace.decode.stalls").incr();
-                        match rx.recv() {
-                            Ok(msg) => Pull::Msg(msg),
-                            Err(_) => Pull::Dead,
-                        }
-                    }
-                    Err(TryRecvError::Disconnected) => Pull::Dead,
-                },
-            };
-            match pull {
-                Pull::Msg(Msg::Chunk(chunk)) => {
+            match self.link.pull() {
+                Pull::Msg(DecodeMsg::Chunk(chunk)) => {
                     self.current = chunk;
                     self.pos = 0;
                 }
-                Pull::Msg(Msg::End(result)) => {
+                Pull::Msg(DecodeMsg::End(result)) => {
                     self.done = Some(result);
-                    self.hang_up();
+                    self.link.hang_up();
                 }
                 Pull::Dead => self.reap_worker(),
             }
         }
     }
 
-    /// Drops both channel ends so the decoder (if still alive) exits.
-    fn hang_up(&mut self) {
-        self.ring = None;
-        self.data = None;
-    }
-
-    /// The data channel died without an `End` message: the decoder
-    /// thread is gone. Re-raise its panic on this thread; a non-panic
-    /// exit without a verdict cannot happen in practice, but degrade to
-    /// a typed error rather than trusting that.
+    /// The link died without an `End` message: the decoder is gone.
+    /// Re-raise its panic on this thread; a non-panic exit without a
+    /// verdict is an *infrastructure* failure — report it as
+    /// [`TraceError::Internal`], never as `Truncated` (which would
+    /// misblame the input for a pipeline fault).
     fn reap_worker(&mut self) {
-        self.hang_up();
-        if let Some(handle) = self.worker.take() {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
+        self.link.hang_up();
+        if let Some(Err(payload)) = self.link.join_worker() {
+            std::panic::resume_unwind(payload);
         }
         if self.done.is_none() {
-            self.done = Some(Err(TraceError::Truncated));
+            self.done = Some(Err(TraceError::Internal(DEAD_DECODER)));
         }
     }
 
@@ -320,7 +510,7 @@ impl PipelinedReader {
         }
         match self.done.take() {
             Some(result) => result,
-            None => Err(TraceError::Truncated),
+            None => Err(TraceError::Internal(DEAD_DECODER)),
         }
     }
 }
@@ -366,14 +556,12 @@ impl AccessStream for PipelinedReader {
 
 impl Drop for PipelinedReader {
     fn drop(&mut self) {
-        self.hang_up();
-        if let Some(handle) = self.worker.take() {
-            if let Err(payload) = handle.join() {
-                // Propagate a decoder panic from `drop` too, unless this
-                // thread is already unwinding (double panic aborts).
-                if !thread::panicking() {
-                    std::panic::resume_unwind(payload);
-                }
+        self.link.hang_up();
+        if let Some(Err(payload)) = self.link.join_worker() {
+            // Propagate a decoder panic from `drop` too, unless this
+            // thread is already unwinding (double panic aborts).
+            if !thread::panicking() {
+                std::panic::resume_unwind(payload);
             }
         }
     }
@@ -385,7 +573,7 @@ impl PipelinedReader {
     /// for pinning the panic-propagation contract.
     fn with_poisoned_worker() -> Self {
         let (ring_tx, ring_rx) = sync_channel::<Chunk>(1);
-        let (data_tx, data_rx) = sync_channel::<Msg>(1);
+        let (data_tx, data_rx) = sync_channel::<DecodeMsg>(1);
         let worker = thread::Builder::new()
             .name("rdxt-decode-poisoned".into())
             .spawn(move || {
@@ -396,9 +584,37 @@ impl PipelinedReader {
         PipelinedReader {
             name: "poisoned".into(),
             declared: 1,
-            ring: Some(ring_tx),
-            data: Some(data_rx),
-            worker: Some(worker),
+            link: Link::Threaded {
+                ring: Some(ring_tx),
+                data: Some(data_rx),
+                worker: Some(worker),
+            },
+            current: Chunk::default(),
+            pos: 0,
+            delivered: 0,
+            done: None,
+        }
+    }
+
+    /// Test-only: a reader whose decoder thread exits cleanly without
+    /// ever sending a verdict — the worker-death failure mode.
+    fn with_vanishing_worker() -> Self {
+        let (ring_tx, ring_rx) = sync_channel::<Chunk>(1);
+        let (data_tx, data_rx) = sync_channel::<DecodeMsg>(1);
+        let worker = thread::Builder::new()
+            .name("rdxt-decode-vanishing".into())
+            .spawn(move || {
+                drop((ring_rx, data_tx)); // no End, no panic: just gone
+            })
+            .expect("spawn test worker");
+        PipelinedReader {
+            name: "vanishing".into(),
+            declared: 1,
+            link: Link::Threaded {
+                ring: Some(ring_tx),
+                data: Some(data_rx),
+                worker: Some(worker),
+            },
             current: Chunk::default(),
             pos: 0,
             delivered: 0,
@@ -525,6 +741,22 @@ mod tests {
     }
 
     #[test]
+    fn dead_worker_without_verdict_is_internal_not_truncated() {
+        // A decoder that exits cleanly without a verdict is a pipeline
+        // failure: the consumer must report `Internal`, never blame the
+        // input with `Truncated`. (Regression: reap_worker used to park
+        // Truncated here.)
+        let mut piped = PipelinedReader::with_vanishing_worker();
+        assert!(piped.next_access().is_none());
+        assert!(
+            matches!(piped.error(), Some(TraceError::Internal(_))),
+            "got {:?}",
+            piped.error()
+        );
+        assert!(matches!(piped.finish(), Err(TraceError::Internal(_))));
+    }
+
+    #[test]
     fn depth_bounds_buffers_in_flight() {
         // A depth-2 ring over a big trace: the consumer never sees more
         // than the ring capacity ahead of what it consumed. (Indirect:
@@ -544,6 +776,94 @@ mod tests {
         }
         assert_eq!(total, 40_000);
         assert!(max_run <= 512, "chunk capacity exceeded: {max_run}");
+        assert!(piped.finish().is_ok());
+    }
+
+    #[test]
+    fn decoder_task_steps_match_scalar_decode() {
+        // The steppable task is the same machine the thread loops: a
+        // hand-driven step sequence reproduces the scalar decode and
+        // ends with the same verdict.
+        let t = Trace::from_addresses("steps", (0..1000u64).map(|i| i * 32));
+        let mut task = DecoderTask::new(reader_for(&t), 96);
+        let mut got = Vec::new();
+        loop {
+            match task.step(Chunk::default()) {
+                DecodeTurn::More(chunk) => got.extend_from_slice(&chunk.accesses),
+                DecodeTurn::Done { prefix, verdict } => {
+                    if let Some(chunk) = prefix {
+                        got.extend_from_slice(&chunk.accesses);
+                    }
+                    assert!(verdict.is_ok());
+                    break;
+                }
+            }
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert!(task.is_done());
+        // Stepping past the verdict is an internal error, not a panic.
+        assert!(matches!(
+            task.step(Chunk::default()),
+            DecodeTurn::Done {
+                verdict: Err(TraceError::Internal(_)),
+                ..
+            }
+        ));
+    }
+
+    /// Minimal virtual link: runs the decoder task inline, one turn per
+    /// pull — the degenerate deterministic schedule.
+    struct InlineLink {
+        task: DecoderTask,
+        ring: Vec<Chunk>,
+        pending_end: Option<Result<(), TraceError>>,
+    }
+
+    impl VirtualLink for InlineLink {
+        fn recycle(&mut self, chunk: Chunk) {
+            self.ring.push(chunk);
+        }
+        fn pull(&mut self) -> Option<DecodeMsg> {
+            if let Some(verdict) = self.pending_end.take() {
+                return Some(DecodeMsg::End(verdict));
+            }
+            let buf = self.ring.pop().unwrap_or_default();
+            match self.task.step(buf) {
+                DecodeTurn::More(chunk) => Some(DecodeMsg::Chunk(chunk)),
+                DecodeTurn::Done {
+                    prefix: Some(chunk),
+                    verdict,
+                } => {
+                    self.pending_end = Some(verdict);
+                    Some(DecodeMsg::Chunk(chunk))
+                }
+                DecodeTurn::Done {
+                    prefix: None,
+                    verdict,
+                } => Some(DecodeMsg::End(verdict)),
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_link_reproduces_the_stream_without_threads() {
+        let t = Trace::from_addresses("virt", (0..2000u64).map(|i| (i * 13) % 512));
+        let reader = reader_for(&t);
+        let declared = reader.declared_len();
+        let link = InlineLink {
+            task: DecoderTask::new(reader, 128),
+            ring: Vec::new(),
+            pending_end: None,
+        };
+        let mut piped = PipelinedReader::with_virtual_link("virt", declared, Box::new(link));
+        let mut got = Vec::new();
+        while let Some(run) = piped.next_chunk() {
+            got.extend_from_slice(run);
+            let n = run.len();
+            piped.consume_chunk(n);
+        }
+        assert_eq!(got.as_slice(), t.accesses());
+        assert_eq!(piped.delivered(), 2000);
         assert!(piped.finish().is_ok());
     }
 }
