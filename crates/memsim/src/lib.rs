@@ -55,16 +55,24 @@
 //! assert!(profiler.samples >= 9);
 //! ```
 
-#![forbid(unsafe_code)]
+// The AVX2 scan kernel needs core::arch intrinsics, so this crate can
+// only *deny* unsafe code, not forbid it: `kernels.rs` re-allows it for
+// exactly that module, and the unsafe-confinement lint pins every
+// `unsafe` token in the workspace to that one file.
+// rdx-lint-allow: forbid-unsafe — arch intrinsics confined to kernels.rs
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
 mod debug;
+pub mod kernels;
 mod machine;
 mod pmu;
 mod scan;
 
 pub use cost::{CostLedger, CostModel};
 pub use debug::{ArmError, ArmInfo, DebugRegisterFile, Slot, WatchKind, Watchpoint};
+pub use kernels::{KernelChoice, KernelEntry, KernelKind, ScanKernel};
 pub use machine::{Hardware, Machine, MachineConfig, Profiler, RunReport, Sample, Trap};
 pub use pmu::{CounterSnapshot, Pmu, PmuEvent, SamplingConfig};
+pub use scan::{NeedleSet, ScanOutcome};

@@ -2,6 +2,7 @@
 
 use crate::cost::{CostLedger, CostModel};
 use crate::debug::{ArmError, ArmInfo, DebugRegisterFile, Slot, Watchpoint};
+use crate::kernels::{self, KernelChoice, KernelKind};
 use crate::pmu::{CounterSnapshot, Pmu, PmuEvent, PmuOutcome, SamplingConfig};
 use crate::scan::NeedleSet;
 use rdx_trace::{Access, AccessStream};
@@ -17,6 +18,8 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Seed for the PMU's period randomization.
     pub seed: u64,
+    /// Which scan kernel the fast path uses (resolved once per run).
+    pub scan_kernel: KernelChoice,
 }
 
 impl Default for MachineConfig {
@@ -26,6 +29,7 @@ impl Default for MachineConfig {
             sampling: SamplingConfig::default(),
             cost: CostModel::default(),
             seed: 0x005D_1CE5,
+            scan_kernel: KernelChoice::Auto,
         }
     }
 }
@@ -60,6 +64,13 @@ impl MachineConfig {
     #[must_use]
     pub fn with_sampling(mut self, sampling: SamplingConfig) -> Self {
         self.sampling = sampling;
+        self
+    }
+
+    /// Selects the fast path's scan kernel (default: auto).
+    #[must_use]
+    pub fn with_scan_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.scan_kernel = kernel;
         self
     }
 }
@@ -262,6 +273,12 @@ impl Machine {
         let eligible =
             self.config.sampling.max_skid == 0 && self.config.sampling.event == PmuEvent::Accesses;
         let mut try_chunks = eligible && stream.chunk_capable();
+        // One kernel per run: resolved against the host capability
+        // table here, never re-dispatched inside the loop.
+        let kernel = kernels::resolve_scan(self.config.scan_kernel);
+        if try_chunks {
+            rdx_metrics::counter("rdx.machine.scan.kernel").incr();
+        }
         // Engagement counters, accumulated locally and flushed once so
         // the (feature-gated) metrics atomics stay off the hot path.
         let mut fp_chunks: u64 = 0;
@@ -274,7 +291,15 @@ impl Machine {
                     Some(chunk) => {
                         fp_chunks += 1;
                         fp_scanned += chunk.len() as u64;
-                        run_chunk(chunk, &mut pmu, &mut drf, &mut ledger, profiler, &mut index);
+                        run_chunk(
+                            chunk,
+                            kernel,
+                            &mut pmu,
+                            &mut drf,
+                            &mut ledger,
+                            profiler,
+                            &mut index,
+                        );
                         chunk.len()
                     }
                     None => 0,
@@ -298,6 +323,19 @@ impl Machine {
         if fp_chunks > 0 || fp_scanned > 0 {
             rdx_metrics::counter("rdx.machine.fastpath.chunks").add(fp_chunks);
             rdx_metrics::counter("rdx.machine.fastpath.scanned_accesses").add(fp_scanned);
+            // Per-kernel totals, named literally per match arm so the
+            // counter-manifest lint sees every name.
+            match kernel {
+                KernelKind::Scalar => {
+                    rdx_metrics::counter("rdx.machine.scan.scalar_accesses").add(fp_scanned);
+                }
+                KernelKind::Swar => {
+                    rdx_metrics::counter("rdx.machine.scan.swar_accesses").add(fp_scanned);
+                }
+                KernelKind::Simd => {
+                    rdx_metrics::counter("rdx.machine.scan.simd_accesses").add(fp_scanned);
+                }
+            }
         }
         if fp_fallbacks > 0 {
             rdx_metrics::counter("rdx.machine.fastpath.fallbacks").add(fp_fallbacks);
@@ -385,6 +423,7 @@ fn step_access(
 /// at most one single-stepped event access.
 fn run_chunk(
     chunk: &[Access],
+    kernel: KernelKind,
     pmu: &mut Pmu,
     drf: &mut DebugRegisterFile,
     ledger: &mut CostLedger,
@@ -400,7 +439,7 @@ fn run_chunk(
         // most countdown − 1 accesses long.
         let gap = pmu.countdown() - 1;
         let quiet = remaining.min(usize::try_from(gap).unwrap_or(usize::MAX));
-        let scan = needles.scan(&chunk[pos..pos + quiet]);
+        let scan = kernels::run_scan(kernel, &needles, &chunk[pos..pos + quiet]);
         match scan.first_match {
             Some(off) => {
                 // Trap inside the quiet run: bulk-advance the prefix,

@@ -25,7 +25,7 @@ use crate::WatchKind;
 use rdx_trace::Access;
 
 /// Upper bound on needles: [`DebugRegisterFile`] holds at most 64 slots.
-const MAX_NEEDLES: usize = 64;
+pub(crate) const MAX_NEEDLES: usize = 64;
 
 /// The armed watchpoints of a register file, flattened for scanning.
 ///
@@ -34,17 +34,17 @@ const MAX_NEEDLES: usize = 64;
 /// machine rebuilds it after every delivered trap or sample, the only
 /// places profilers can touch the registers).
 #[derive(Debug)]
-pub(crate) struct NeedleSet {
-    len: usize,
-    base: [u64; MAX_NEEDLES],
-    span: [u64; MAX_NEEDLES],
+pub struct NeedleSet {
+    pub(crate) len: usize,
+    pub(crate) base: [u64; MAX_NEEDLES],
+    pub(crate) span: [u64; MAX_NEEDLES],
     /// True when the needle only traps stores (`WatchKind::Write`).
-    store_only: [bool; MAX_NEEDLES],
+    pub(crate) store_only: [bool; MAX_NEEDLES],
 }
 
 /// Result of scanning one run of accesses, from [`NeedleSet::scan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ScanOutcome {
+pub struct ScanOutcome {
     /// Offset of the first access matching any needle, if one matched.
     pub first_match: Option<usize>,
     /// Stores among the accesses *before* that offset (or in the whole
@@ -54,6 +54,39 @@ pub(crate) struct ScanOutcome {
 }
 
 impl NeedleSet {
+    /// Builds a needle set from raw `(base, span, store_only)` ranges —
+    /// the constructor benches and kernel equivalence tests use to make
+    /// sets without a register file. At most 64 ranges are kept (the
+    /// debug-register ceiling); extras are ignored.
+    #[must_use]
+    pub fn from_ranges(ranges: &[(u64, u64, bool)]) -> Self {
+        let mut set = NeedleSet {
+            len: 0,
+            base: [0; MAX_NEEDLES],
+            span: [0; MAX_NEEDLES],
+            store_only: [false; MAX_NEEDLES],
+        };
+        for &(base, span, store_only) in ranges.iter().take(MAX_NEEDLES) {
+            set.base[set.len] = base;
+            set.span[set.len] = span;
+            set.store_only[set.len] = store_only;
+            set.len += 1;
+        }
+        set
+    }
+
+    /// Number of needles in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set holds no needles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Snapshots the armed watchpoints of `drf` in slot order.
     pub(crate) fn from_registers(drf: &DebugRegisterFile) -> Self {
         let mut set = NeedleSet {
@@ -74,7 +107,10 @@ impl NeedleSet {
 
     /// Finds the first access in `run` hitting any needle, counting the
     /// stores that precede it.
-    pub(crate) fn scan(&self, run: &[Access]) -> ScanOutcome {
+    ///
+    /// This is the scalar reference scanner — the oracle every kernel
+    /// in [`crate::kernels`] must agree with on all inputs.
+    pub fn scan(&self, run: &[Access]) -> ScanOutcome {
         // Dispatch to a monomorphized scanner so the per-access needle
         // loop unrolls completely for the common register counts (x86
         // has 4); larger ablation configurations take the generic loop.
@@ -96,7 +132,7 @@ impl NeedleSet {
     }
 
     #[inline(always)]
-    fn scan_any(&self, run: &[Access], n: usize) -> ScanOutcome {
+    pub(crate) fn scan_any(&self, run: &[Access], n: usize) -> ScanOutcome {
         let mut stores: u64 = 0;
         for (i, access) in run.iter().enumerate() {
             let addr = access.addr.raw();
@@ -126,7 +162,7 @@ impl NeedleSet {
 }
 
 /// Stores in a run with no armed watchpoints (vectorizes freely).
-fn count_stores(run: &[Access]) -> u64 {
+pub(crate) fn count_stores(run: &[Access]) -> u64 {
     run.iter().map(|a| u64::from(a.kind.is_store())).sum()
 }
 

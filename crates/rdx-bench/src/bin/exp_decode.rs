@@ -15,18 +15,35 @@
 //! decode-ahead reader. All three profiles are asserted bit-identical;
 //! the speedups are the whole point of the ingestion pipeline.
 //!
+//! **Decode kernels.** The bulk drain is additionally timed with the
+//! varint decode kernel pinned to the scalar oracle and to whatever
+//! auto dispatch selects ([`rdx_trace::kernels`]); their ratio is
+//! `kernel_speedup`, an in-process number immune to host speed — the
+//! quantity the CI regression gate checks.
+//!
 //! Results land in the `"decode"` section of `BENCH_rdx.json` (path
 //! override `RDX_BENCH_OUT`; other sections, e.g. `exp_throughput`'s
 //! `"throughput"`, are preserved). `RDX_ACCESSES` scales the run;
 //! `RDX_REPS` (default 3) controls the best-of-N timing.
+//!
+//! `--check [--tol <0..1>]` switches to regression-check mode: only the
+//! decode-kernel contrast runs, fresh `kernel_speedup` is compared
+//! against the recorded baseline (`BENCH_rdx.json`, override
+//! `RDX_BENCH_BASELINE`; fail only below recorded × (1 − tol)), and
+//! fresh numbers go to `BENCH_fresh.json` (override `RDX_BENCH_OUT`).
+//! `RDX_KERNEL` forces what "auto" resolves to — CI sets
+//! `RDX_KERNEL=scalar` to prove the gate fails when the fast kernels
+//! are disabled.
 
 use rdx_bench::{
-    experiment_params, geo_mean, paper_config, print_table, reps, time_min, update_bench_json,
+    bench_args, bench_out_path, check_metric, experiment_params, geo_mean, json_number,
+    kernel_override, paper_config, print_table, read_bench_baseline, reps, resolve_tolerance,
+    time_min, update_bench_json_at, update_bench_json_keeping,
 };
 use rdx_core::{IngestOptions, RdxProfile, RdxRunner, RdxtInput};
 use rdx_trace::{
-    io, AccessStream, Chunk, Opaque, PipelineOptions, PipelinedReader, Trace, TraceReader,
-    DEFAULT_CHUNK_CAPACITY,
+    io, kernels::resolve_decode, AccessStream, Bytes, Chunk, KernelChoice, Opaque, PipelineOptions,
+    PipelinedReader, Trace, TraceReader, DEFAULT_CHUNK_CAPACITY,
 };
 use rdx_workloads::suite;
 use std::fmt::Write as _;
@@ -63,26 +80,166 @@ fn assert_identical(name: &str, what: &str, a: &RdxProfile, b: &RdxProfile) {
     );
 }
 
+/// One decode-kernel measurement: the resolved auto kernel and the
+/// bulk drain's throughput with the kernel pinned scalar vs auto.
+struct KernelBench {
+    auto_name: &'static str,
+    scalar_aps: f64,
+    auto_aps: f64,
+}
+
+impl KernelBench {
+    fn kernel_speedup(&self) -> f64 {
+        self.auto_aps / self.scalar_aps
+    }
+}
+
+/// Times the bulk chunk drain over the serialized suite with the varint
+/// decode kernel pinned to the scalar oracle and to what auto dispatch
+/// picks (`RDX_KERNEL` overrides the auto choice).
+fn decode_kernel_bench(blobs: &[(&'static str, u64, Bytes)], total: u64, reps: u32) -> KernelBench {
+    let auto_choice = kernel_override().unwrap_or(KernelChoice::Auto);
+    let drain = |kernel: KernelChoice| {
+        let (secs, n) = time_min(reps, || {
+            let mut n = 0u64;
+            let mut chunk = Chunk::default();
+            for (name, _, raw) in blobs {
+                let mut r = TraceReader::new(raw.clone())
+                    .expect("valid trace bytes")
+                    .with_kernel(kernel);
+                loop {
+                    match r.decode_chunk(&mut chunk, DEFAULT_CHUNK_CAPACITY) {
+                        Ok(0) => break,
+                        Ok(k) => n += k as u64,
+                        Err(e) => panic!("{name}: clean trace failed to decode: {e}"),
+                    }
+                }
+            }
+            n
+        });
+        assert_eq!(n, total, "kernel '{}' drain lost records", kernel.name());
+        total as f64 / secs
+    };
+    KernelBench {
+        auto_name: resolve_decode(auto_choice).name(),
+        scalar_aps: drain(KernelChoice::Scalar),
+        auto_aps: drain(auto_choice),
+    }
+}
+
+fn print_kernel_bench(bench: &KernelBench, total: u64) {
+    println!(
+        "\ndecode kernels (bulk drain, {total} accesses, auto resolves to '{}'):",
+        bench.auto_name
+    );
+    print_table(
+        &["kernel", "acc/s", "vs scalar"],
+        &[
+            vec![
+                "scalar".into(),
+                format!("{:.3e}", bench.scalar_aps),
+                "1.00x".into(),
+            ],
+            vec![
+                bench.auto_name.into(),
+                format!("{:.3e}", bench.auto_aps),
+                format!("{:.2}x", bench.kernel_speedup()),
+            ],
+        ],
+    );
+    println!(
+        "kernel_speedup (auto vs scalar): {:.2}x",
+        bench.kernel_speedup()
+    );
+}
+
+/// Serializes every registry workload once; the timed loops share
+/// these buffers (`Bytes` clones are refcounted, not copies).
+fn serialize_suite(params: &rdx_workloads::Params) -> Vec<(&'static str, u64, Bytes)> {
+    suite()
+        .iter()
+        .map(|w| {
+            let trace = Trace::from_stream(w.name, w.stream(params));
+            (w.name, trace.len() as u64, io::to_bytes(&trace))
+        })
+        .collect()
+}
+
+/// `--check`: rerun only the decode-kernel contrast, gate on the
+/// recorded `kernel_speedup` ratio, and write the fresh numbers to a
+/// separate artifact file. Returns the process exit code.
+fn check_mode(tol_flag: Option<f64>, params: &rdx_workloads::Params, reps: u32) -> i32 {
+    let baseline = match read_bench_baseline() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("exp_decode --check: cannot read recorded baseline: {e}");
+            return 2;
+        }
+    };
+    let Some(recorded) = json_number(&baseline, &["decode", "kernel_speedup"]) else {
+        eprintln!(
+            "exp_decode --check: baseline has no decode.kernel_speedup \
+             (run exp_decode once without --check to record it)"
+        );
+        return 2;
+    };
+    let tol = resolve_tolerance(tol_flag, &baseline, "decode");
+    let blobs = serialize_suite(params);
+    let total: u64 = blobs.iter().map(|&(_, n, _)| n).sum();
+    let bench = decode_kernel_bench(&blobs, total, reps);
+    print_kernel_bench(&bench, total);
+    let ok = check_metric(
+        "decode.kernel_speedup",
+        bench.kernel_speedup(),
+        recorded,
+        tol,
+    );
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "    \"check_tolerance\": {tol:.3},");
+    let _ = writeln!(body, "    \"check_passed\": {ok},");
+    let _ = writeln!(body, "    \"kernel\": \"{}\",", bench.auto_name);
+    let _ = writeln!(
+        body,
+        "    \"kernel_scalar_accesses_per_sec\": {:.1},",
+        bench.scalar_aps
+    );
+    let _ = writeln!(
+        body,
+        "    \"kernel_accesses_per_sec\": {:.1},",
+        bench.auto_aps
+    );
+    let _ = writeln!(
+        body,
+        "    \"kernel_speedup\": {:.3}",
+        bench.kernel_speedup()
+    );
+    let _ = write!(body, "  }}");
+    let out = update_bench_json_at(&bench_out_path("BENCH_fresh.json"), "decode", &body)
+        .unwrap_or_else(|e| panic!("writing fresh check numbers: {e}"));
+    println!("wrote {out} (section \"decode\", check mode)");
+    i32::from(!ok)
+}
+
 fn main() {
+    let args = bench_args().unwrap_or_else(|e| {
+        eprintln!("exp_decode: {e}");
+        std::process::exit(2);
+    });
     let params = experiment_params();
     let config = paper_config();
     let period = config.machine.sampling.period;
     let reps = reps();
+    if args.check {
+        std::process::exit(check_mode(args.tol, &params, reps));
+    }
     println!(
         "Ingestion: per-access decode vs bulk chunks vs pipelined decode-ahead \
          ({} accesses/workload, period {period}, best of {reps})\n",
         params.accesses
     );
 
-    // Serialize every registry workload once; the timed loops below
-    // share these buffers (`Bytes` clones are refcounted, not copies).
-    let blobs: Vec<_> = suite()
-        .iter()
-        .map(|w| {
-            let trace = Trace::from_stream(w.name, w.stream(&params));
-            (w.name, trace.len() as u64, io::to_bytes(&trace))
-        })
-        .collect();
+    let blobs = serialize_suite(&params);
     let total: u64 = blobs.iter().map(|&(_, n, _)| n).sum();
 
     // Decode-only throughput over the whole serialized suite.
@@ -129,6 +286,7 @@ fn main() {
     assert_eq!(scalar_n, total, "scalar drain lost records");
     assert_eq!(bulk_n, total, "bulk drain lost records");
     assert_eq!(pipe_n, total, "pipelined drain lost records");
+    let kernel_bench = decode_kernel_bench(&blobs, total, reps);
     let (scalar_aps, bulk_only_aps, pipe_only_aps) = (
         total as f64 / scalar_s,
         total as f64 / bulk_s,
@@ -212,6 +370,8 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    print_kernel_bench(&kernel_bench, total);
+
     let bulk_speedups: Vec<f64> = rows.iter().map(Row::bulk_speedup).collect();
     let pipe_speedups: Vec<f64> = rows.iter().map(Row::pipelined_speedup).collect();
     let (geo_bulk, geo_pipe) = (geo_mean(&bulk_speedups), geo_mean(&pipe_speedups));
@@ -221,15 +381,19 @@ fn main() {
          (max {max_pipe:.2}x; profiles verified bit-identical)"
     );
 
-    let out = update_bench_json(
+    // A hand-tuned check_tolerance in the recorded file survives
+    // re-runs; the gate falls back to 0.25 when absent.
+    let out = update_bench_json_keeping(
         "decode",
         &render_section(
             &rows,
+            &kernel_bench,
             total,
             period,
             (scalar_aps, bulk_only_aps, pipe_only_aps),
             (geo_bulk, geo_pipe, max_pipe),
         ),
+        &["check_tolerance"],
     )
     .unwrap_or_else(|e| panic!("writing benchmark results: {e}"));
     println!("wrote {out} (section \"decode\")");
@@ -239,6 +403,7 @@ fn main() {
 /// workspace); every value is a finite number or a registry identifier.
 fn render_section(
     rows: &[Row],
+    kernel_bench: &KernelBench,
     total: u64,
     period: u64,
     (scalar_aps, bulk_aps, pipe_aps): (f64, f64, f64),
@@ -248,6 +413,22 @@ fn render_section(
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "    \"accesses\": {total},");
     let _ = writeln!(s, "    \"period\": {period},");
+    let _ = writeln!(s, "    \"kernel\": \"{}\",", kernel_bench.auto_name);
+    let _ = writeln!(
+        s,
+        "    \"kernel_scalar_accesses_per_sec\": {:.1},",
+        kernel_bench.scalar_aps
+    );
+    let _ = writeln!(
+        s,
+        "    \"kernel_accesses_per_sec\": {:.1},",
+        kernel_bench.auto_aps
+    );
+    let _ = writeln!(
+        s,
+        "    \"kernel_speedup\": {:.3},",
+        kernel_bench.kernel_speedup()
+    );
     let _ = writeln!(s, "    \"decode_only\": {{");
     let _ = writeln!(s, "      \"scalar_accesses_per_sec\": {scalar_aps:.1},");
     let _ = writeln!(s, "      \"bulk_accesses_per_sec\": {bulk_aps:.1},");

@@ -194,6 +194,135 @@ pub fn reps() -> u32 {
         .max(1)
 }
 
+/// Options shared by the benchmark binaries that support regression
+/// checking (`exp_throughput`, `exp_decode`): `--check` compares fresh
+/// numbers against the recorded baseline instead of rewriting it, and
+/// `--tol <0..1>` overrides the allowed relative regression.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BenchArgs {
+    /// Run in regression-check mode.
+    pub check: bool,
+    /// Explicit tolerance override (fraction of the recorded value).
+    pub tol: Option<f64>,
+}
+
+/// Parses this process's command-line arguments into [`BenchArgs`].
+///
+/// # Errors
+///
+/// Returns a usage message for unknown flags, a missing or unparseable
+/// `--tol` value, or a tolerance outside `[0, 1)`.
+pub fn bench_args() -> Result<BenchArgs, String> {
+    parse_bench_args(std::env::args().skip(1))
+}
+
+/// [`bench_args`] over an explicit argument iterator (testable form).
+///
+/// # Errors
+///
+/// Same conditions as [`bench_args`].
+pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
+    let mut out = BenchArgs::default();
+    let mut it = args;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => out.check = true,
+            "--tol" => {
+                let value = it.next().ok_or("--tol needs a value")?;
+                let tol: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--tol must be a number in [0, 1) (got '{value}')"))?;
+                if !(0.0..1.0).contains(&tol) {
+                    return Err(format!("--tol must be in [0, 1) (got {tol})"));
+                }
+                out.tol = Some(tol);
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}' (expected [--check] [--tol <0..1>])"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The `RDX_KERNEL` environment override for what "auto" resolves to in
+/// the kernel microbenchmarks. CI sets `RDX_KERNEL=scalar` to prove the
+/// regression gate actually fails when the fast kernels are disabled.
+///
+/// # Panics
+///
+/// Panics when the variable is set to something other than
+/// `auto|scalar|swar|simd` — a typo must not silently bench the default.
+#[must_use]
+pub fn kernel_override() -> Option<rdx_trace::KernelChoice> {
+    let value = std::env::var("RDX_KERNEL").ok()?;
+    Some(
+        rdx_trace::KernelChoice::parse(&value).unwrap_or_else(|| {
+            panic!("RDX_KERNEL must be auto, scalar, swar or simd (got '{value}')")
+        }),
+    )
+}
+
+/// Reads the recorded benchmark baseline for `--check` mode:
+/// `RDX_BENCH_BASELINE` if set, else `BENCH_rdx.json`.
+///
+/// # Errors
+///
+/// Propagates the [`std::io::Error`] from reading the file.
+pub fn read_bench_baseline() -> std::io::Result<String> {
+    let path = std::env::var("RDX_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_rdx.json".into());
+    std::fs::read_to_string(path)
+}
+
+/// Resolves the `--check` tolerance: an explicit `--tol` wins, then the
+/// recorded section's `check_tolerance` field, then 0.25.
+#[must_use]
+pub fn resolve_tolerance(args_tol: Option<f64>, baseline: &str, section: &str) -> f64 {
+    args_tol
+        .or_else(|| json_number(baseline, &[section, "check_tolerance"]))
+        .unwrap_or(0.25)
+}
+
+/// One regression check: passes when `fresh >= recorded × (1 − tol)` —
+/// only a drop below the recorded value by more than the tolerance
+/// band fails; being faster than recorded always passes. Prints the
+/// verdict either way.
+#[must_use]
+pub fn check_metric(label: &str, fresh: f64, recorded: f64, tol: f64) -> bool {
+    let floor = recorded * (1.0 - tol);
+    let ok = fresh >= floor;
+    println!(
+        "check {label}: fresh {fresh:.3} vs recorded {recorded:.3} \
+         (floor {floor:.3}, tolerance {}) ... {}",
+        pct(tol),
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    ok
+}
+
+/// Walks `path` through nested JSON objects starting at `text` and
+/// returns the raw text of the value it lands on. `None` when any step
+/// is not an object or the key is absent.
+#[must_use]
+pub fn json_lookup(text: &str, path: &[&str]) -> Option<String> {
+    let mut cur = text.trim().to_string();
+    for key in path {
+        cur = parse_top_level(&cur)?
+            .into_iter()
+            .find(|(k, _)| k == key)?
+            .1;
+    }
+    Some(cur)
+}
+
+/// [`json_lookup`] specialised to a bare numeric leaf.
+#[must_use]
+pub fn json_number(text: &str, path: &[&str]) -> Option<f64> {
+    json_lookup(text, path)?.parse().ok()
+}
+
 /// Rewrites one top-level section of the benchmark results file
 /// (`BENCH_rdx.json`, path override `RDX_BENCH_OUT`), preserving every
 /// other section so the experiment binaries can each own one key.
@@ -203,10 +332,80 @@ pub fn reps() -> u32 {
 ///
 /// Propagates the [`std::io::Error`] from writing the file.
 pub fn update_bench_json(section: &str, body: &str) -> std::io::Result<String> {
-    let out = std::env::var("RDX_BENCH_OUT").unwrap_or_else(|_| "BENCH_rdx.json".into());
+    update_bench_json_at(&bench_out_path("BENCH_rdx.json"), section, body)
+}
+
+/// The benchmark results path: `RDX_BENCH_OUT` if set, else `default`.
+#[must_use]
+pub fn bench_out_path(default: &str) -> String {
+    std::env::var("RDX_BENCH_OUT").unwrap_or_else(|_| default.into())
+}
+
+/// [`update_bench_json`] against an explicit path (check mode writes
+/// its fresh numbers to a separate artifact file, not the baseline).
+///
+/// # Errors
+///
+/// Propagates the [`std::io::Error`] from writing the file.
+pub fn update_bench_json_at(path: &str, section: &str, body: &str) -> std::io::Result<String> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    std::fs::write(path, merge_json_section(&existing, section, body))?;
+    Ok(path.to_string())
+}
+
+/// [`update_bench_json`], but any top-level key of the *recorded*
+/// section listed in `keep_keys` that the new `body` does not produce
+/// is carried over instead of destroyed — so a partial re-run (or a
+/// hand-tuned `check_tolerance`) survives the merge.
+///
+/// # Errors
+///
+/// Propagates the [`std::io::Error`] from writing the file.
+pub fn update_bench_json_keeping(
+    section: &str,
+    body: &str,
+    keep_keys: &[&str],
+) -> std::io::Result<String> {
+    let out = bench_out_path("BENCH_rdx.json");
     let existing = std::fs::read_to_string(&out).unwrap_or_default();
-    std::fs::write(&out, merge_json_section(&existing, section, body))?;
+    let body = keep_section_keys(&existing, section, body, keep_keys);
+    std::fs::write(&out, merge_json_section(&existing, section, &body))?;
     Ok(out)
+}
+
+/// Returns `body` with every `keep_keys` entry that exists at the top
+/// level of `existing`'s `section` but not in `body` appended to it.
+/// Falls back to `body` verbatim when either side fails to parse as an
+/// object or nothing needs keeping.
+#[must_use]
+pub fn keep_section_keys(existing: &str, section: &str, body: &str, keep_keys: &[&str]) -> String {
+    let kept = json_lookup(existing, &[section])
+        .and_then(|old| Some((parse_top_level(&old)?, parse_top_level(body)?)))
+        .map(|(old_entries, mut new_entries)| {
+            let mut added = false;
+            for &key in keep_keys {
+                if new_entries.iter().any(|(k, _)| k == key) {
+                    continue;
+                }
+                if let Some(entry) = old_entries.iter().find(|(k, _)| k == key) {
+                    new_entries.push(entry.clone());
+                    added = true;
+                }
+            }
+            (new_entries, added)
+        });
+    match kept {
+        Some((entries, true)) => {
+            let mut s = String::from("{\n");
+            for (i, (key, value)) in entries.iter().enumerate() {
+                let comma = if i + 1 == entries.len() { "" } else { "," };
+                s.push_str(&format!("    \"{key}\": {value}{comma}\n"));
+            }
+            s.push_str("  }");
+            s
+        }
+        _ => body.trim().to_string(),
+    }
 }
 
 /// Returns `existing` (a JSON object, possibly empty or unparseable —
@@ -455,5 +654,123 @@ mod tests {
         let (secs, out) = time_min(2, || 41 + 1);
         assert!(secs > 0.0);
         assert_eq!(out, 42);
+    }
+
+    fn args(list: &[&str]) -> Result<BenchArgs, String> {
+        parse_bench_args(list.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn bench_args_parse_and_validate() {
+        assert_eq!(args(&[]).unwrap(), BenchArgs::default());
+        assert_eq!(
+            args(&["--check"]).unwrap(),
+            BenchArgs {
+                check: true,
+                tol: None
+            }
+        );
+        let both = args(&["--check", "--tol", "0.1"]).unwrap();
+        assert!(both.check);
+        assert_eq!(both.tol, Some(0.1));
+        assert!(args(&["--tol"]).unwrap_err().contains("needs a value"));
+        assert!(args(&["--tol", "nope"]).unwrap_err().contains("number"));
+        assert!(args(&["--tol", "1.5"]).unwrap_err().contains("[0, 1)"));
+        assert!(args(&["--frobnicate"]).unwrap_err().contains("unknown"));
+    }
+
+    const BASELINE: &str = concat!(
+        "{\n",
+        "  \"decode\": {\n",
+        "    \"kernel\": \"swar\",\n",
+        "    \"kernel_speedup\": 3.25,\n",
+        "    \"check_tolerance\": 0.4,\n",
+        "    \"decode_only\": {\"bulk_speedup\": 4.962}\n",
+        "  }\n",
+        "}\n"
+    );
+
+    #[test]
+    fn json_lookup_walks_nested_objects() {
+        assert_eq!(
+            json_lookup(BASELINE, &["decode", "kernel"]).as_deref(),
+            Some("\"swar\"")
+        );
+        assert_eq!(
+            json_number(BASELINE, &["decode", "kernel_speedup"]),
+            Some(3.25)
+        );
+        assert_eq!(
+            json_number(BASELINE, &["decode", "decode_only", "bulk_speedup"]),
+            Some(4.962)
+        );
+        assert_eq!(json_number(BASELINE, &["decode", "missing"]), None);
+        assert_eq!(json_number(BASELINE, &["nope", "kernel_speedup"]), None);
+        // Quoted strings are not numbers.
+        assert_eq!(json_number(BASELINE, &["decode", "kernel"]), None);
+    }
+
+    #[test]
+    fn resolve_tolerance_prefers_flag_then_recorded_then_default() {
+        assert_eq!(resolve_tolerance(Some(0.1), BASELINE, "decode"), 0.1);
+        assert_eq!(resolve_tolerance(None, BASELINE, "decode"), 0.4);
+        assert_eq!(resolve_tolerance(None, BASELINE, "throughput"), 0.25);
+        assert_eq!(resolve_tolerance(None, "", "decode"), 0.25);
+    }
+
+    #[test]
+    fn check_metric_fails_only_below_the_band() {
+        assert!(check_metric("m", 3.2, 3.25, 0.25)); // small dip: inside band
+        assert!(check_metric("m", 9.9, 3.25, 0.25)); // faster always passes
+        assert!(!check_metric("m", 1.0, 3.25, 0.25)); // collapse: below floor
+        assert!(check_metric("m", 3.25 * 0.75, 3.25, 0.25)); // exactly at floor
+    }
+
+    #[test]
+    fn keep_section_keys_restores_recorded_fields_missing_from_the_new_body() {
+        // A decode-only re-run that (like an older binary) renders no
+        // kernel/tolerance fields must not destroy the recorded ones.
+        let body = "{\n    \"accesses\": 9,\n    \"decode_only\": {\"bulk_speedup\": 5.0}\n  }";
+        let kept = keep_section_keys(
+            BASELINE,
+            "decode",
+            body,
+            &["kernel", "kernel_speedup", "check_tolerance"],
+        );
+        let merged = merge_json_section(BASELINE, "decode", &kept);
+        assert_eq!(json_number(&merged, &["decode", "accesses"]), Some(9.0));
+        assert_eq!(
+            json_number(&merged, &["decode", "decode_only", "bulk_speedup"]),
+            Some(5.0)
+        );
+        assert_eq!(
+            json_lookup(&merged, &["decode", "kernel"]).as_deref(),
+            Some("\"swar\"")
+        );
+        assert_eq!(
+            json_number(&merged, &["decode", "kernel_speedup"]),
+            Some(3.25)
+        );
+        assert_eq!(
+            json_number(&merged, &["decode", "check_tolerance"]),
+            Some(0.4)
+        );
+    }
+
+    #[test]
+    fn keep_section_keys_never_overrides_fresh_values() {
+        let body = "{\n    \"kernel\": \"scalar\",\n    \"kernel_speedup\": 1.0\n  }";
+        let kept = keep_section_keys(BASELINE, "decode", body, &["kernel", "kernel_speedup"]);
+        assert_eq!(kept, body.trim());
+        // No recorded section at all: body passes through verbatim.
+        assert_eq!(
+            keep_section_keys("", "decode", body, &["kernel"]),
+            body.trim()
+        );
+        // Non-object body: untouched.
+        assert_eq!(
+            keep_section_keys(BASELINE, "decode", "42", &["kernel"]),
+            "42"
+        );
     }
 }

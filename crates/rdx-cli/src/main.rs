@@ -6,12 +6,13 @@
 //!             [--period N] [--seed N] [--registers N] [--jobs N]
 //!             [--exact] [--mrc] [--csv] [--metrics]
 //!             [--pipelined|--no-pipelined] [--decode-buffer N]
-//!             [--decode-ahead N]
+//!             [--decode-ahead N] [--kernel auto|scalar|swar|simd]
 //! rdx suite [file.rdxt ...] [--accesses N] [--elements N] [--period N]
 //!           [--seed N] [--jobs N] [--csv] [--metrics]
 //!           [--pipelined|--no-pipelined] [--decode-buffer N]
-//!           [--decode-ahead N]
-//! rdx trace <file> [--decode-buffer N] [--metrics]
+//!           [--decode-ahead N] [--kernel auto|scalar|swar|simd]
+//! rdx trace <file> [--decode-buffer N] [--kernel auto|scalar|swar|simd]
+//!           [--metrics]
 //! rdx serve --listen <addr|socket-path> [--max-conns N]
 //!           [--max-session-bytes N]
 //! rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N]
@@ -29,6 +30,14 @@
 //! (`--no-pipelined` decodes in bulk on the profiling thread;
 //! `--decode-buffer`/`--decode-ahead` size the chunk and the buffer
 //! ring).
+//!
+//! `--kernel` forces the hot-loop kernels — the machine fast path's
+//! needle scanner and the trace layer's bulk varint decoder — to one
+//! implementation family (`auto`, the default, picks the cheapest
+//! available per the capability tables; a forced kind that is
+//! unavailable on this host degrades per the table, e.g. `simd` decode
+//! runs the SWAR kernel). Every kernel is bit-identical in output;
+//! `rdx trace` prints the resolved kernel it decoded with.
 //!
 //! `serve` runs the long-lived framed profiling daemon from
 //! `rdx-server`; `client` streams a workload or trace file to such a
@@ -69,7 +78,9 @@ use rdx_core::{
 use rdx_groundtruth::{ExactProfile, ShardedExact};
 use rdx_histogram::accuracy::histogram_intersection;
 use rdx_histogram::{Binning, Histogram};
-use rdx_trace::{AccessKind, Chunk, Granularity, TraceReader, DEFAULT_CHUNK_CAPACITY};
+use rdx_trace::{
+    AccessKind, Chunk, Granularity, KernelChoice, TraceReader, DEFAULT_CHUNK_CAPACITY,
+};
 use rdx_workloads::{by_name, suite, Params, WorkloadSpec};
 use std::process::ExitCode;
 
@@ -78,10 +89,12 @@ fn usage() -> ExitCode {
         "usage:\n  rdx list\n  rdx profile <workload|file.rdxt> [--accesses N] \
          [--elements N] [--period N]\n              [--seed N] [--registers N] [--jobs N] \
          [--exact] [--mrc] [--csv] [--metrics]\n              [--pipelined|--no-pipelined] \
-         [--decode-buffer N] [--decode-ahead N]\n  rdx suite [file.rdxt ...] [--accesses N] \
+         [--decode-buffer N] [--decode-ahead N]\n              \
+         [--kernel auto|scalar|swar|simd]\n  rdx suite [file.rdxt ...] [--accesses N] \
          [--elements N] [--period N] [--seed N]\n            [--jobs N] [--csv] [--metrics] \
-         [--pipelined|--no-pipelined]\n            [--decode-buffer N] [--decode-ahead N]\n  \
-         rdx trace <file> [--decode-buffer N] [--metrics]\n  \
+         [--pipelined|--no-pipelined]\n            [--decode-buffer N] [--decode-ahead N] \
+         [--kernel auto|scalar|swar|simd]\n  \
+         rdx trace <file> [--decode-buffer N] [--kernel auto|scalar|swar|simd] [--metrics]\n  \
          rdx serve --listen <addr|socket-path> [--max-conns N] [--max-session-bytes N]\n  \
          rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N] [--elements N]\n             \
          [--period N] [--seed N] [--registers N] [--chunk-bytes N]\n             \
@@ -124,6 +137,7 @@ struct Opts {
     decode_buffer: Option<u64>,
     decode_ahead: Option<u64>,
     chunk_bytes: Option<u64>,
+    kernel: Option<KernelChoice>,
     exact: bool,
     mrc: bool,
     csv: bool,
@@ -161,6 +175,15 @@ impl Opts {
                         return Err(format!("duplicate flag '{flag}'"));
                     }
                     *slot = true;
+                }
+                "--kernel" => {
+                    if opts.kernel.is_some() {
+                        return Err("duplicate flag '--kernel'".to_string());
+                    }
+                    let value = it.next().ok_or("--kernel needs a value")?;
+                    opts.kernel = Some(KernelChoice::parse(value).ok_or_else(|| {
+                        format!("--kernel must be auto, scalar, swar or simd (got '{value}')")
+                    })?);
                 }
                 _ => {
                     let slot = match flag {
@@ -246,6 +269,9 @@ impl Opts {
         if let Some(v) = self.registers {
             c = c.with_registers(v as usize);
         }
+        if let Some(k) = self.kernel {
+            c = c.with_scan_kernel(k);
+        }
         c
     }
 
@@ -265,6 +291,9 @@ impl Opts {
         }
         if let Some(v) = self.decode_ahead {
             o = o.with_decode_ahead(usize::try_from(v).unwrap_or(usize::MAX));
+        }
+        if let Some(k) = self.kernel {
+            o = o.with_decode_kernel(k);
         }
         o
     }
@@ -295,6 +324,7 @@ const PROFILE_FLAGS: &[&str] = &[
     "--jobs",
     "--decode-buffer",
     "--decode-ahead",
+    "--kernel",
     "--exact",
     "--mrc",
     "--csv",
@@ -311,13 +341,14 @@ const SUITE_FLAGS: &[&str] = &[
     "--jobs",
     "--decode-buffer",
     "--decode-ahead",
+    "--kernel",
     "--csv",
     "--metrics",
     "--pipelined",
     "--no-pipelined",
 ];
 
-const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--metrics"];
+const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--kernel", "--metrics"];
 
 const CLIENT_FLAGS: &[&str] = &[
     "--accesses",
@@ -826,6 +857,10 @@ fn trace_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(k) = opts.kernel {
+        reader = reader.with_kernel(k);
+    }
+    let kernel = reader.kernel();
     let declared = reader.declared_len();
     let capacity = opts
         .decode_buffer
@@ -876,6 +911,7 @@ fn trace_cmd(args: &[String]) -> ExitCode {
     let loads = accesses - stores;
     println!("trace           : {name}");
     println!("file size       : {total_bytes} B");
+    println!("decode kernel   : {}", kernel.name());
     println!("accesses        : {accesses} ({loads} loads, {stores} stores)");
     if chunks > 0 {
         println!("chunks          : {chunks} (capacity {capacity}, fill {min_fill}..={max_fill})");
@@ -1414,6 +1450,46 @@ mod tests {
         let err =
             Opts::parse(&to_args(&["--pipelined", "--no-pipelined"]), PROFILE_FLAGS).unwrap_err();
         assert!(err.contains("conflicts"), "{err}");
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_validates() {
+        for flags in [PROFILE_FLAGS, SUITE_FLAGS, TRACE_FLAGS] {
+            for (value, want) in [
+                ("auto", KernelChoice::Auto),
+                ("scalar", KernelChoice::Scalar),
+                ("swar", KernelChoice::Swar),
+                ("simd", KernelChoice::Simd),
+            ] {
+                let opts = Opts::parse(&to_args(&["--kernel", value]), flags).unwrap();
+                assert_eq!(opts.kernel, Some(want));
+            }
+        }
+        let err = Opts::parse(&to_args(&["--kernel", "avx512"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("--kernel must be"), "{err}");
+        let err = Opts::parse(&to_args(&["--kernel"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = Opts::parse(
+            &to_args(&["--kernel", "swar", "--kernel", "scalar"]),
+            PROFILE_FLAGS,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate flag '--kernel'"), "{err}");
+        // The choice threads into both the machine config and ingestion.
+        let opts = Opts::parse(&to_args(&["--kernel", "scalar"]), PROFILE_FLAGS).unwrap();
+        assert_eq!(opts.config().machine.scan_kernel, KernelChoice::Scalar);
+        assert_eq!(opts.ingest().decode_kernel, KernelChoice::Scalar);
+    }
+
+    #[test]
+    fn trace_cmd_accepts_kernel_flag() {
+        let _guard = metrics_guard();
+        let (path, _) = write_sample_trace("trace-kernel", 5_000);
+        for kernel in ["scalar", "swar", "auto", "simd"] {
+            let code = trace_cmd(&to_args(&[&path.display().to_string(), "--kernel", kernel]));
+            assert_eq!(code, ExitCode::SUCCESS, "--kernel {kernel}");
+        }
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::config::RdxConfig;
 use crate::report::RdxProfile;
 use crate::runner::RdxRunner;
 use rdx_trace::{
-    Access, AccessStream, PipelineOptions, PipelinedReader, TraceError, TraceReader,
+    Access, AccessStream, KernelChoice, PipelineOptions, PipelinedReader, TraceError, TraceReader,
     DEFAULT_CHUNK_CAPACITY,
 };
 use std::fmt;
@@ -38,6 +38,9 @@ pub struct IngestOptions {
     /// Decode-ahead depth of the pipelined reader's buffer ring
     /// (ignored without `pipelined`; default 2 = double buffering).
     pub decode_ahead: usize,
+    /// Which decode kernel the reader uses (default: auto, the
+    /// cheapest available in the trace layer's capability table).
+    pub decode_kernel: KernelChoice,
 }
 
 impl Default for IngestOptions {
@@ -46,6 +49,7 @@ impl Default for IngestOptions {
             pipelined: true,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
             decode_ahead: 2,
+            decode_kernel: KernelChoice::Auto,
         }
     }
 }
@@ -69,6 +73,13 @@ impl IngestOptions {
     #[must_use]
     pub fn with_decode_ahead(mut self, depth: usize) -> Self {
         self.decode_ahead = depth;
+        self
+    }
+
+    /// Selects the decode kernel (default: auto).
+    #[must_use]
+    pub fn with_decode_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.decode_kernel = kernel;
         self
     }
 }
@@ -154,13 +165,14 @@ impl RdxtInput {
     #[must_use]
     pub fn into_stream(self, opts: &IngestOptions) -> RdxtStream {
         let capacity = opts.chunk_capacity.max(1);
+        let reader = self.reader.with_kernel(opts.decode_kernel);
         if opts.pipelined {
             let popts = PipelineOptions::default()
                 .with_chunk_capacity(capacity)
                 .with_depth(opts.decode_ahead);
-            RdxtStream::Pipelined(PipelinedReader::with_options(self.reader, popts))
+            RdxtStream::Pipelined(PipelinedReader::with_options(reader, popts))
         } else {
-            RdxtStream::Bulk(self.reader.with_chunk_capacity(capacity))
+            RdxtStream::Bulk(reader.with_chunk_capacity(capacity))
         }
     }
 }

@@ -99,3 +99,34 @@ fn odd_chunk_capacities_and_depths_reproduce_the_digest() {
         assert_eq!(got, GOLDEN, "capacity 777, pipelined={}", opts.pipelined);
     }
 }
+
+#[test]
+fn every_decode_kernel_reproduces_the_digest() {
+    // Kernel dispatch must be invisible: forcing each decode kernel
+    // (simd degrades to SWAR by table rule — still a distinct path)
+    // through both ingestion shapes lands on the same bits.
+    use rdx_trace::KernelChoice;
+    for kernel in [
+        KernelChoice::Auto,
+        KernelChoice::Scalar,
+        KernelChoice::Swar,
+        KernelChoice::Simd,
+    ] {
+        for opts in [
+            IngestOptions::default().with_decode_kernel(kernel),
+            IngestOptions::default()
+                .with_pipelined(false)
+                .with_decode_kernel(kernel),
+        ] {
+            let got = registry_digest_through_files(&opts);
+            assert_eq!(
+                got,
+                GOLDEN,
+                "decode kernel '{}' (pipelined={}) digest {got:#018x} \
+                 deviates — every kernel must be bit-identical",
+                kernel.name(),
+                opts.pipelined,
+            );
+        }
+    }
+}

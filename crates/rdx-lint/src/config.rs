@@ -19,6 +19,10 @@ pub struct LintConfig {
     /// `(crate, file name)` pairs whose non-test code must be
     /// panic-free: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`.
     pub hot_path_files: Vec<(String, String)>,
+    /// `(crate, file name)` pairs allowed to contain `unsafe` tokens.
+    /// Everywhere else the `unsafe-confinement` lint fires, so arch
+    /// intrinsics stay inside the kernel modules built to host them.
+    pub unsafe_allowed_files: Vec<(String, String)>,
     /// `(crate, layer)` pairs: a crate's normal dependencies must sit
     /// on a strictly lower layer, dev-dependencies on a lower-or-equal
     /// one. When non-empty, every workspace crate must be mapped.
@@ -69,10 +73,12 @@ impl LintConfig {
                 ("memsim", "machine.rs"),
                 ("memsim", "pmu.rs"),
                 ("memsim", "scan.rs"),
+                ("memsim", "kernels.rs"),
                 ("memsim", "debug.rs"),
                 ("rdx-core", "profiler.rs"),
                 ("rdx-core", "runner.rs"),
                 ("rdx-trace", "io.rs"),
+                ("rdx-trace", "kernels.rs"),
                 ("rdx-trace", "stream.rs"),
                 ("rdx-trace", "chunk.rs"),
                 ("rdx-trace", "pipeline.rs"),
@@ -84,6 +90,10 @@ impl LintConfig {
             .iter()
             .map(|&(c, f)| (c.to_string(), f.to_string()))
             .collect(),
+            unsafe_allowed_files: [("memsim", "kernels.rs")]
+                .iter()
+                .map(|&(c, f)| (c.to_string(), f.to_string()))
+                .collect(),
             layers: [
                 ("rdx-metrics", 0),
                 ("rdx-histogram", 1),

@@ -17,7 +17,8 @@
 //! | `no-panic` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in hot-path modules |
 //! | `unbounded-channel` | no unbounded channels (`crossbeam::channel::unbounded`, `mpsc::channel`) in hot crates |
 //! | `layering` | crate DAG layered, acyclic, vendored-deps-only |
-//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` (or a justified `deny`) |
+//! | `unsafe-confinement` | `unsafe` tokens only in allowlisted kernel modules |
 //! | `metrics-name` | counter names follow `rdx.<area>.<name>` |
 //! | `metrics-manifest` | counters declared in `COUNTERS.txt`, both directions |
 //!
@@ -66,6 +67,8 @@ pub enum Lint {
     Layering,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// `unsafe` token outside the allowlisted kernel modules.
+    UnsafeConfinement,
     /// Metrics counter name not matching `rdx.<area>.<name>`.
     MetricsName,
     /// Counter not declared in the manifest (or declared but unused).
@@ -74,7 +77,7 @@ pub enum Lint {
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 9] = [
+    pub const ALL: [Lint; 10] = [
         Lint::HashCollections,
         Lint::WallClock,
         Lint::EntropyRng,
@@ -82,6 +85,7 @@ impl Lint {
         Lint::UnboundedChannel,
         Lint::Layering,
         Lint::ForbidUnsafe,
+        Lint::UnsafeConfinement,
         Lint::MetricsName,
         Lint::MetricsManifest,
     ];
@@ -97,6 +101,7 @@ impl Lint {
             Lint::UnboundedChannel => "unbounded-channel",
             Lint::Layering => "layering",
             Lint::ForbidUnsafe => "forbid-unsafe",
+            Lint::UnsafeConfinement => "unsafe-confinement",
             Lint::MetricsName => "metrics-name",
             Lint::MetricsManifest => "metrics-manifest",
         }
@@ -116,7 +121,10 @@ impl Lint {
                 "forbid unbounded channels (crossbeam unbounded, mpsc::channel) in hot crates"
             }
             Lint::Layering => "enforce the layered crate DAG (no cycles, no upward edges)",
-            Lint::ForbidUnsafe => "require #![forbid(unsafe_code)] in every crate root",
+            Lint::ForbidUnsafe => {
+                "require #![forbid(unsafe_code)] in every crate root (justified deny allowed)"
+            }
+            Lint::UnsafeConfinement => "confine `unsafe` tokens to the allowlisted kernel modules",
             Lint::MetricsName => "counter names must match the rdx.<area>.<name> scheme",
             Lint::MetricsManifest => "counters must be declared in COUNTERS.txt (both ways)",
         }
@@ -202,6 +210,7 @@ pub fn check_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Viola
         lints::determinism::check(krate, config, &mut sink);
         lints::channels::check(krate, config, &mut sink);
         lints::panics::check(krate, config, &mut sink);
+        lints::hygiene::check_unsafe_confinement(krate, config, &mut sink);
         lints::hygiene::check(
             krate,
             config,

@@ -100,26 +100,78 @@ fn check_forbid_unsafe(krate: &CrateSrc, sink: &mut Sink) {
     };
     let file = &krate.files[root_idx];
     let toks = &file.lexed.tokens; // inner attrs sit outside any item
-    let has = toks.windows(8).any(|w| {
-        w[0].is_punct('#')
-            && w[1].is_punct('!')
-            && w[2].is_punct('[')
-            && w[3].is_ident("forbid")
-            && w[4].is_punct('(')
-            && w[5].is_ident("unsafe_code")
-            && w[6].is_punct(')')
-            && w[7].is_punct(']')
-    });
-    if !has {
+    let level_attr = |level: &str| {
+        toks.windows(8)
+            .find(|w| {
+                w[0].is_punct('#')
+                    && w[1].is_punct('!')
+                    && w[2].is_punct('[')
+                    && w[3].is_ident(level)
+                    && w[4].is_punct('(')
+                    && w[5].is_ident("unsafe_code")
+                    && w[6].is_punct(')')
+                    && w[7].is_punct(']')
+            })
+            .map(|w| w[3].line)
+    };
+    if level_attr("forbid").is_some() {
+        return;
+    }
+    // `deny` is the weaker posture (modules can re-allow), so it needs a
+    // justification: the violation lands on the attribute line, where an
+    // `// rdx-lint-allow: forbid-unsafe — <why>` directive can cover it.
+    if let Some(line) = level_attr("deny") {
         sink.emit_src(
             file,
             Lint::ForbidUnsafe,
-            1,
+            line,
             format!(
-                "crate root of `{}` lacks `#![forbid(unsafe_code)]`",
+                "crate root of `{}` downgrades to `#![deny(unsafe_code)]` — modules can \
+                 re-allow it; justify with `// rdx-lint-allow: forbid-unsafe — <why>`",
                 krate.name
             ),
         );
+        return;
+    }
+    sink.emit_src(
+        file,
+        Lint::ForbidUnsafe,
+        1,
+        format!(
+            "crate root of `{}` lacks `#![forbid(unsafe_code)]`",
+            krate.name
+        ),
+    );
+}
+
+/// The `unsafe-confinement` lint: any `unsafe` token outside the
+/// allowlisted kernel modules is a violation, even in a crate that
+/// legitimately carries `deny(unsafe_code)` instead of `forbid` — the
+/// compiler checks the lattice per crate, this check pins the workspace
+/// inventory to specific files.
+pub fn check_unsafe_confinement(krate: &CrateSrc, config: &LintConfig, sink: &mut Sink) {
+    for file in &krate.files {
+        let allowed = config
+            .unsafe_allowed_files
+            .iter()
+            .any(|(c, f)| *c == krate.name && *f == file.file_name);
+        if allowed {
+            continue;
+        }
+        for tok in &file.tokens {
+            if tok.is_ident("unsafe") {
+                sink.emit_src(
+                    file,
+                    Lint::UnsafeConfinement,
+                    tok.line,
+                    format!(
+                        "`unsafe` in `{}`: arch-specific code belongs in an allowlisted \
+                         kernel module (see LintConfig::unsafe_allowed_files)",
+                        file.file_name
+                    ),
+                );
+            }
+        }
     }
 }
 

@@ -50,10 +50,11 @@ fn dirty_fixture_trips_every_lint() {
         "dirty fixture must trip every lint; got:\n{}",
         rdx_lint::render(&violations)
     );
-    // One pattern per lint, except layering (upward edge + unknown dep)
-    // and metrics-manifest (undeclared counter + stale entry) which
-    // carry two each.
-    assert_eq!(violations.len(), 11, "{}", rdx_lint::render(&violations));
+    // One pattern per lint, except layering (upward edge + unknown dep),
+    // metrics-manifest (undeclared counter + stale entry) and
+    // forbid-unsafe (alpha's missing attr + beta's unjustified deny)
+    // which carry two each.
+    assert_eq!(violations.len(), 13, "{}", rdx_lint::render(&violations));
 }
 
 #[test]
@@ -69,7 +70,9 @@ fn dirty_fixture_flags_the_expected_sites() {
     assert!(has(Lint::EntropyRng, "alpha/src/lib.rs"));
     assert!(has(Lint::NoPanic, "alpha/src/hot.rs"));
     assert!(has(Lint::UnboundedChannel, "alpha/src/lib.rs"));
-    assert!(has(Lint::ForbidUnsafe, "alpha/src/lib.rs"));
+    assert!(has(Lint::ForbidUnsafe, "alpha/src/lib.rs")); // missing attr
+    assert!(has(Lint::ForbidUnsafe, "beta/src/lib.rs")); // unjustified deny
+    assert!(has(Lint::UnsafeConfinement, "alpha/src/lib.rs"));
     assert!(has(Lint::MetricsName, "alpha/src/lib.rs"));
     assert!(has(Lint::MetricsManifest, "alpha/src/lib.rs")); // undeclared
     assert!(has(Lint::MetricsManifest, "counters.txt")); // stale entry

@@ -31,3 +31,7 @@ pub fn backpressure_free_queue() -> usize {
     tx.send(1).ok();
     rx.try_recv().map_or(0, |_| 1)
 }
+
+pub fn escape_hatch(p: *const u64) -> u64 {
+    unsafe { *p }
+}

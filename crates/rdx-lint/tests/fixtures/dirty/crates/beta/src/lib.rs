@@ -1,6 +1,7 @@
-//! Base-layer fixture crate — clean on its own; only its manifest sins.
+//! Base-layer fixture crate — its manifest sins (upward edge), and its
+//! root downgrades `forbid(unsafe_code)` to `deny` without a justification.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 /// Nothing to see here.
 pub fn id(x: u64) -> u64 {

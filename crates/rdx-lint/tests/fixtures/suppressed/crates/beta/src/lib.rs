@@ -1,6 +1,7 @@
-//! Base-layer fixture crate.
+//! Base-layer fixture crate: the `deny` downgrade, justified.
 
-#![forbid(unsafe_code)]
+// rdx-lint-allow: forbid-unsafe — fixture: justified deny must be accepted
+#![deny(unsafe_code)]
 
 /// Nothing to see here.
 pub fn id(x: u64) -> u64 {

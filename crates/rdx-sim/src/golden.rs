@@ -15,7 +15,7 @@ use crate::sched::shared;
 use crate::{SeededPicker, Violation};
 use rdx_core::{RdxConfig, RdxRunner};
 use rdx_histogram::Histogram;
-use rdx_trace::{io, PipelinedReader, Trace, TraceReader};
+use rdx_trace::{io, KernelChoice, PipelinedReader, Trace, TraceReader};
 use rdx_workloads::{suite, Params};
 
 /// FNV-1a over u64 words — the same digest the golden tests use.
@@ -59,14 +59,30 @@ const DEPTH: usize = 3;
 /// [`Violation`] if any workload's virtual decode does not finish
 /// cleanly — the digest would be meaningless on a partial profile.
 pub fn registry_digest_virtual(seed: u64) -> Result<u64, Violation> {
+    registry_digest_virtual_kernel(seed, KernelChoice::Auto)
+}
+
+/// [`registry_digest_virtual`] with both hot-loop kernels forced to
+/// `kernel` — the virtual decoder's varint kernel *and* the machine's
+/// needle-scan kernel. Kernel dispatch must be invisible under every
+/// schedule, so `rdx sim` can pin any kernel against the same digest.
+///
+/// # Errors
+///
+/// [`Violation`] if any workload's virtual decode does not finish
+/// cleanly — the digest would be meaningless on a partial profile.
+pub fn registry_digest_virtual_kernel(seed: u64, kernel: KernelChoice) -> Result<u64, Violation> {
     let params = Params::default().with_accesses(60_000).with_elements(800);
-    let config = RdxConfig::default().with_period(512).with_seed(7);
+    let config = RdxConfig::default()
+        .with_period(512)
+        .with_seed(7)
+        .with_scan_kernel(kernel);
     let runner = RdxRunner::new(config);
     let mut digest = Digest::new();
     for (i, w) in suite().iter().enumerate() {
         let trace = Trace::from_stream(w.name, w.stream(&params));
         let raw = io::to_bytes(&trace);
-        let reader = match TraceReader::new(raw) {
+        let reader = match TraceReader::new(raw).map(|r| r.with_kernel(kernel)) {
             Ok(r) => r,
             Err(e) => {
                 return Err(Violation::seeded(
@@ -116,6 +132,32 @@ mod tests {
             "virtual-pipeline registry digest {got:#018x} deviates from the \
              pinned baseline — scheduling freedom must never change results",
         );
+    }
+
+    #[test]
+    fn every_kernel_reproduces_the_digest_under_a_virtual_schedule() {
+        // Scheduling freedom × kernel dispatch: neither may leak into
+        // results, alone or combined. Each kernel runs under a distinct
+        // schedule seed so the pairing is exercised, not just the kernels.
+        for (i, kernel) in [
+            KernelChoice::Auto,
+            KernelChoice::Scalar,
+            KernelChoice::Swar,
+            KernelChoice::Simd,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let got = registry_digest_virtual_kernel(0x5eed ^ i as u64, kernel)
+                .expect("clean virtual decode");
+            assert_eq!(
+                got,
+                REGISTRY_GOLDEN_DIGEST,
+                "kernel '{}' digest {got:#018x} deviates under a virtual \
+                 schedule — kernel dispatch must be bit-identical",
+                kernel.name(),
+            );
+        }
     }
 
     #[test]

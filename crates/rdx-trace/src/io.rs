@@ -24,6 +24,7 @@
 
 use crate::chunk::{Chunk, DEFAULT_CHUNK_CAPACITY};
 use crate::event::{Access, AccessKind, Address};
+use crate::kernels::{self, KernelChoice, KernelKind};
 use crate::stream::AccessStream;
 use crate::trace::Trace;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -147,7 +148,7 @@ fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -169,7 +170,7 @@ pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u128) {
 /// it "successfully" would produce a silently wrong value, so both the
 /// scalar and the bulk decoder reject it as [`TraceError::Malformed`].
 #[inline]
-fn varint_bits_overflow(sig: u128, shift: u32) -> bool {
+pub(crate) fn varint_bits_overflow(sig: u128, shift: u32) -> bool {
     // `shift >= 128` must short-circuit: a shift that large is itself
     // UB-adjacent (masked in release, panic in debug).
     shift >= 128 || (sig << shift) >> shift != sig
@@ -265,6 +266,10 @@ pub struct TraceReader {
     pending: Chunk,
     pos: usize,
     chunk_capacity: usize,
+    /// The decode kernel [`decode_chunk`](TraceReader::decode_chunk)
+    /// dispatches to, resolved once at construction (overridable via
+    /// [`with_kernel`](TraceReader::with_kernel)).
+    kernel: KernelKind,
 }
 
 impl TraceReader {
@@ -304,6 +309,7 @@ impl TraceReader {
         }
         let declared = buf.get_u64_le();
         rdx_metrics::counter("rdx.trace.decode.bytes").add((total_len - buf.remaining()) as u64);
+        rdx_metrics::counter("rdx.trace.decode.kernel").incr();
         Ok(TraceReader {
             buf,
             name,
@@ -314,7 +320,24 @@ impl TraceReader {
             pending: Chunk::default(),
             pos: 0,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            kernel: kernels::resolve_decode(KernelChoice::Auto),
         })
+    }
+
+    /// Selects the decode kernel [`decode_chunk`](TraceReader::decode_chunk)
+    /// dispatches to (default: `auto`, the cheapest available kernel in
+    /// [`kernels::decode_kernels`]). Every kernel is bit-identical in
+    /// output; the choice only affects speed.
+    #[must_use]
+    pub fn with_kernel(mut self, choice: KernelChoice) -> Self {
+        self.kernel = kernels::resolve_decode(choice);
+        self
+    }
+
+    /// The decode kernel this reader resolved to.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Sets the number of accesses the reader bulk-decodes per refill of
@@ -454,46 +477,12 @@ impl TraceReader {
         // drive this reservation past the input size (or `max`).
         out.accesses.reserve(target.min(self.buf.remaining()));
         let bytes = self.buf.chunk();
-        let mut p = 0usize;
-        let mut committed = 0usize;
         let mut prev = self.prev;
-        let mut failure: Option<TraceError> = None;
-        'records: while out.accesses.len() < target {
-            let mut raw = 0u128;
-            let mut shift = 0u32;
-            loop {
-                let Some(&byte) = bytes.get(p) else {
-                    failure = Some(TraceError::Truncated);
-                    break 'records;
-                };
-                p += 1;
-                let sig = u128::from(byte & 0x7f);
-                // Same canonical-form rule as the scalar `get_varint`:
-                // a continuation byte whose significant bits don't fit
-                // the 128-bit payload would be silently shifted out.
-                if varint_bits_overflow(sig, shift) {
-                    failure = Some(TraceError::Malformed);
-                    break 'records;
-                }
-                raw |= sig << shift;
-                if byte & 0x80 == 0 {
-                    break;
-                }
-                shift += 7;
-            }
-            let kind = if raw & 1 == 1 {
-                AccessKind::Store
-            } else {
-                AccessKind::Load
-            };
-            let delta = unzigzag((raw >> 1) as u64);
-            prev = prev.wrapping_add(delta as u64);
-            out.accesses.push(Access {
-                addr: Address::new(prev),
-                kind,
-            });
-            committed = p;
-        }
+        // The per-record byte crunching is a kernel (see `kernels`):
+        // scalar is the oracle, SWAR the default; all are bit-identical.
+        let run = kernels::run_decode(self.kernel, bytes, target, &mut prev, &mut out.accesses);
+        let committed = run.committed;
+        let failure = run.failure;
         let n = out.accesses.len();
         self.prev = prev;
         self.decoded += n as u64;
@@ -503,6 +492,14 @@ impl TraceReader {
             rdx_metrics::counter("rdx.trace.decode.events").add(n as u64);
             rdx_metrics::counter("rdx.trace.decode.accesses").add(n as u64);
             rdx_metrics::counter("rdx.trace.decode.chunks").incr();
+            match self.kernel {
+                KernelKind::Scalar => {
+                    rdx_metrics::counter("rdx.trace.decode.scalar_accesses").add(n as u64);
+                }
+                KernelKind::Swar | KernelKind::Simd => {
+                    rdx_metrics::counter("rdx.trace.decode.swar_accesses").add(n as u64);
+                }
+            }
         }
         if let Some(e) = failure {
             self.error = Some(dup_decode_error(&e));
@@ -1409,6 +1406,86 @@ mod proptests {
             prop_assert_eq!(got.is_err(), want_malformed);
             if !want_malformed {
                 prop_assert_eq!(scanner.records(), want_records);
+            }
+        }
+
+        /// Kernel equivalence at the trait boundary: the SWAR kernel
+        /// reproduces the scalar oracle exactly — accesses, committed
+        /// cursor, delta-chain state, and truncated-vs-malformed
+        /// verdict — on arbitrary byte windows (mostly garbage, so
+        /// truncation and overlong cut points of every flavor) and
+        /// arbitrary record targets.
+        #[test]
+        fn swar_kernel_matches_scalar_kernel_on_raw_windows(
+            data in prop::collection::vec(any::<u8>(), 0..256),
+            target in 0usize..96,
+            prev in any::<u64>(),
+        ) {
+            use crate::kernels::{DecodeKernel, ScalarDecode, SwarDecode};
+            let mut scalar_prev = prev;
+            let mut scalar_out = Vec::new();
+            let scalar = ScalarDecode.decode_records(
+                &data, target, &mut scalar_prev, &mut scalar_out);
+            let mut swar_prev = prev;
+            let mut swar_out = Vec::new();
+            let swar = SwarDecode.decode_records(
+                &data, target, &mut swar_prev, &mut swar_out);
+            prop_assert_eq!(&swar_out, &scalar_out);
+            prop_assert_eq!(swar.committed, scalar.committed);
+            prop_assert_eq!(swar_prev, scalar_prev);
+            let tag = |f: &Option<TraceError>| match f {
+                None => 0u8,
+                Some(TraceError::Truncated) => 1,
+                Some(TraceError::Malformed) => 2,
+                Some(_) => 3,
+            };
+            prop_assert_eq!(tag(&swar.failure), tag(&scalar.failure));
+        }
+
+        /// Kernel equivalence at the reader boundary: a reader forced
+        /// to each kernel decodes the byte-for-byte same chunks, errors
+        /// and counts, over records of every varint width (arbitrary
+        /// u64 deltas reach 10-byte records; small strides stay at
+        /// 1–2), every chunk capacity, and every truncation cut.
+        #[test]
+        fn decode_chunk_kernels_agree_across_widths_and_cuts(
+            records in prop::collection::vec(
+                (prop_oneof![0u64..2048, any::<u64>()], any::<bool>()), 0..64),
+            capacity in 1usize..40,
+            cut_back in 0usize..24,
+        ) {
+            let t: Trace = records.iter().copied().collect();
+            let full = to_bytes(&t);
+            let cut = full.len().saturating_sub(cut_back).max(20);
+            for raw in [full.clone(), full.slice(..cut.min(full.len()))] {
+                let Ok(scalar) = TraceReader::new(raw.clone()) else { continue };
+                let Ok(swar) = TraceReader::new(raw) else { continue };
+                let mut scalar = scalar.with_kernel(KernelChoice::Scalar);
+                let mut swar = swar.with_kernel(KernelChoice::Swar);
+                prop_assert_eq!(scalar.kernel(), KernelKind::Scalar);
+                prop_assert_eq!(swar.kernel(), KernelKind::Swar);
+                let mut sc = Chunk::default();
+                let mut sw = Chunk::default();
+                loop {
+                    let a = scalar.decode_chunk(&mut sc, capacity);
+                    let b = swar.decode_chunk(&mut sw, capacity);
+                    prop_assert_eq!(&sw.accesses, &sc.accesses);
+                    prop_assert_eq!(sw.base_index, sc.base_index);
+                    prop_assert_eq!(swar.decoded(), scalar.decoded());
+                    match (a, b) {
+                        (Ok(0), Ok(0)) => break,
+                        (Ok(n), Ok(m)) => prop_assert_eq!(n, m),
+                        (Err(ea), Err(eb)) => {
+                            prop_assert_eq!(
+                                matches!(ea, TraceError::Malformed),
+                                matches!(eb, TraceError::Malformed)
+                            );
+                            break;
+                        }
+                        (a, b) => prop_assert!(
+                            false, "kernels disagree: {a:?} vs {b:?}"),
+                    }
+                }
             }
         }
 

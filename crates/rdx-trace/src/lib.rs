@@ -48,15 +48,18 @@ mod chunk;
 mod event;
 pub mod frame;
 pub mod io;
+pub mod kernels;
 mod pipeline;
 mod stats;
 mod stream;
 mod trace;
 
+pub use bytes::Bytes;
 pub use chunk::{Chunk, Chunked, Chunker, DEFAULT_CHUNK_CAPACITY};
 pub use event::{Access, AccessKind, Address, Granularity};
 pub use frame::{FrameError, PayloadReader, PayloadWriter, MAX_FRAME_LEN};
 pub use io::{RecordScanner, TraceError, TraceReader, MAX_NAME_LEN};
+pub use kernels::{DecodeKernel, KernelChoice, KernelEntry, KernelKind};
 pub use pipeline::{
     DecodeMsg, DecodeTurn, DecoderTask, PipelineOptions, PipelinedReader, VirtualLink,
 };
