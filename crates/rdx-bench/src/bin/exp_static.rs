@@ -1,0 +1,273 @@
+//! P4 — three-way accuracy oracle: static estimation (`rdx-static`) vs.
+//! RDX sampling vs. exact Olken ground truth, per affine kernel.
+//!
+//! The static column executes **zero** accesses — it is a closed-form
+//! function of each kernel's loop structure — yet lands in the same
+//! log-bucketed histograms as the dynamic paths, so all three are
+//! directly comparable with histogram intersection. The miss-ratio-curve
+//! column reports the max deviation of the static estimate from ground
+//! truth over an LRU capacity sweep — the quantity
+//! `rdx-cache::predict` consumers actually feel.
+//!
+//! Every non-affine registry kernel must be rejected with a typed
+//! `NotAffine` error; a static "estimate" for one would be a wrong
+//! answer, and this binary fails if a rejection goes missing.
+//!
+//! Results are recorded under the `"static"` section of `BENCH_rdx.json`
+//! (path override `RDX_BENCH_OUT`). `--check [--tol <0..1>]` switches to
+//! regression-check mode: gate on the recorded
+//! `static.geo_mean_static_accuracy` (baseline `BENCH_rdx.json`,
+//! override `RDX_BENCH_BASELINE`), writing fresh numbers to
+//! `BENCH_fresh.json` instead of touching the baseline.
+//!
+//! The default footprint is 12 288 elements (override `RDX_ELEMENTS`) so
+//! that the largest affine period (matmul at n = 64 → ~1.05 M accesses)
+//! completes within the default 4 M-access budget.
+
+use rdx_bench::{
+    accuracy_config, bench_args, bench_out_path, check_metric, experiment_params, geo_mean,
+    json_number, pct, print_table, read_bench_baseline, resolve_tolerance, update_bench_json_at,
+    update_bench_json_keeping,
+};
+use rdx_core::RdxRunner;
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_histogram::{Binning, MissRatioCurve, RdHistogram};
+use rdx_static::{StaticError, StaticProfile};
+use rdx_trace::Granularity;
+use rdx_workloads::{by_name, Params};
+use std::fmt::Write as _;
+
+/// One affine kernel's three-way comparison.
+struct Row {
+    name: &'static str,
+    stat: StaticProfile,
+    static_acc: f64,
+    sampled_acc: f64,
+    mrc_dev: f64,
+}
+
+fn static_params() -> Params {
+    let mut p = experiment_params();
+    if std::env::var("RDX_ELEMENTS").is_err() {
+        p = p.with_elements(12_288);
+    }
+    p
+}
+
+/// Max |static − exact| LRU miss ratio over a doubling capacity sweep.
+fn mrc_max_deviation(a: &RdHistogram, b: &RdHistogram, max_cap: u64) -> f64 {
+    let ma = MissRatioCurve::from_rd_histogram(a);
+    let mb = MissRatioCurve::from_rd_histogram(b);
+    let mut cap = 1u64;
+    let mut worst = 0.0f64;
+    while cap <= max_cap {
+        worst = worst.max((ma.miss_ratio(cap) - mb.miss_ratio(cap)).abs());
+        cap = (cap * 2).max(cap + 1);
+    }
+    worst
+}
+
+/// Runs the three-way comparison for every affine kernel. Panics if a
+/// static footprint disagrees with the exact distinct-block count — the
+/// structural identity the proptests pin at small scale must hold at
+/// experiment scale too.
+fn measure(params: &Params) -> Vec<Row> {
+    let config = accuracy_config();
+    rdx_static::affine_kernels()
+        .iter()
+        .map(|&name| {
+            let stat = rdx_static::estimate(name, params)
+                .unwrap_or_else(|e| panic!("{name} must have a static model: {e}"));
+            let w = by_name(name).expect("affine kernels are registry members");
+            let exact = ExactProfile::measure(w.stream(params), Granularity::WORD, Binning::log2());
+            let sampled = RdxRunner::new(config).profile(w.stream(params));
+            // The footprint identity needs one full period; a truncated
+            // run has not yet touched everything.
+            if params.accesses >= stat.period {
+                assert_eq!(
+                    stat.footprint, exact.distinct_blocks,
+                    "{name}: static footprint vs exact distinct blocks"
+                );
+            } else {
+                eprintln!(
+                    "note: {name}: {} accesses < period {} — footprint identity skipped \
+                     (raise RDX_ACCESSES or lower RDX_ELEMENTS)",
+                    params.accesses, stat.period
+                );
+            }
+            let static_acc =
+                histogram_intersection(stat.rd.as_histogram(), exact.rd.as_histogram())
+                    .expect("same binning");
+            let sampled_acc =
+                histogram_intersection(sampled.rd.as_histogram(), exact.rd.as_histogram())
+                    .expect("same binning");
+            let mrc_dev = mrc_max_deviation(&stat.rd, &exact.rd, 2 * params.elements);
+            Row {
+                name,
+                stat,
+                static_acc,
+                sampled_acc,
+                mrc_dev,
+            }
+        })
+        .collect()
+}
+
+/// Every non-affine registry kernel must be refused with a typed error.
+/// Returns how many rejections were verified.
+fn verify_rejections(params: &Params) -> usize {
+    let non_affine = rdx_static::non_affine_kernels();
+    for &name in &non_affine {
+        match rdx_static::estimate(name, params) {
+            Err(StaticError::NotAffine { kernel, reason }) => {
+                assert_eq!(kernel, name);
+                assert!(!reason.is_empty(), "{name}: rejection must carry a reason");
+            }
+            other => panic!("{name}: expected a typed NotAffine rejection, got {other:?}"),
+        }
+    }
+    non_affine.len()
+}
+
+fn print_rows(rows: &[Row], params: &Params) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                pct(r.static_acc),
+                pct(r.sampled_acc),
+                format!("{:.4}", r.mrc_dev),
+                r.stat.classes.to_string(),
+                r.stat.period.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "kernel",
+            "static acc",
+            "sampled acc",
+            "static mrc dev",
+            "classes",
+            "period",
+        ],
+        &table,
+    );
+    let static_accs: Vec<f64> = rows.iter().map(|r| r.static_acc).collect();
+    let sampled_accs: Vec<f64> = rows.iter().map(|r| r.sampled_acc).collect();
+    println!(
+        "\ngeo-mean static accuracy : {} (zero accesses executed)",
+        pct(geo_mean(&static_accs))
+    );
+    println!(
+        "geo-mean sampled accuracy: {} ({} accesses sampled per kernel)",
+        pct(geo_mean(&sampled_accs)),
+        params.accesses
+    );
+}
+
+fn body_json(rows: &[Row], params: &Params, rejected: usize, tol: f64) -> String {
+    let static_accs: Vec<f64> = rows.iter().map(|r| r.static_acc).collect();
+    let sampled_accs: Vec<f64> = rows.iter().map(|r| r.sampled_acc).collect();
+    let worst_dev = rows.iter().map(|r| r.mrc_dev).fold(0.0f64, f64::max);
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "    \"accesses\": {},", params.accesses);
+    let _ = writeln!(body, "    \"elements\": {},", params.elements);
+    let _ = writeln!(body, "    \"check_tolerance\": {tol:.3},");
+    let _ = writeln!(
+        body,
+        "    \"geo_mean_static_accuracy\": {:.4},",
+        geo_mean(&static_accs)
+    );
+    let _ = writeln!(
+        body,
+        "    \"geo_mean_sampled_accuracy\": {:.4},",
+        geo_mean(&sampled_accs)
+    );
+    let _ = writeln!(body, "    \"max_mrc_deviation\": {worst_dev:.4},");
+    let _ = writeln!(body, "    \"rejected_non_affine\": {rejected},");
+    let _ = writeln!(body, "    \"kernels\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            body,
+            "      {{\"name\": \"{}\", \"static_accuracy\": {:.4}, \
+             \"sampled_accuracy\": {:.4}, \"mrc_deviation\": {:.4}, \
+             \"classes\": {}, \"period\": {}, \"footprint\": {}}}{comma}",
+            r.name,
+            r.static_acc,
+            r.sampled_acc,
+            r.mrc_dev,
+            r.stat.classes,
+            r.stat.period,
+            r.stat.footprint
+        );
+    }
+    let _ = writeln!(body, "    ]");
+    let _ = write!(body, "  }}");
+    body
+}
+
+/// `--check`: rerun the comparison, gate on the recorded geo-mean static
+/// accuracy, and write fresh numbers to a separate artifact file.
+fn check_mode(tol_flag: Option<f64>, params: &Params) -> i32 {
+    let baseline = match read_bench_baseline() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("exp_static --check: cannot read recorded baseline: {e}");
+            return 2;
+        }
+    };
+    let Some(recorded) = json_number(&baseline, &["static", "geo_mean_static_accuracy"]) else {
+        eprintln!(
+            "exp_static --check: baseline has no static.geo_mean_static_accuracy \
+             (run exp_static once without --check to record it)"
+        );
+        return 2;
+    };
+    let tol = resolve_tolerance(tol_flag, &baseline, "static");
+    let rows = measure(params);
+    let rejected = verify_rejections(params);
+    print_rows(&rows, params);
+    let static_accs: Vec<f64> = rows.iter().map(|r| r.static_acc).collect();
+    let ok = check_metric(
+        "static.geo_mean_static_accuracy",
+        geo_mean(&static_accs),
+        recorded,
+        tol,
+    );
+    let body = body_json(&rows, params, rejected, tol);
+    let out = update_bench_json_at(&bench_out_path("BENCH_fresh.json"), "static", &body)
+        .unwrap_or_else(|e| panic!("writing fresh check numbers: {e}"));
+    println!("wrote {out} (section \"static\", check mode)");
+    i32::from(!ok)
+}
+
+fn main() {
+    let args = bench_args().unwrap_or_else(|e| {
+        eprintln!("exp_static: {e}");
+        std::process::exit(2);
+    });
+    let params = static_params();
+    if args.check {
+        std::process::exit(check_mode(args.tol, &params));
+    }
+    println!(
+        "P4: static vs sampled vs exact Olken ({} accesses, {} elements)\n",
+        params.accesses, params.elements
+    );
+    let rows = measure(&params);
+    let rejected = verify_rejections(&params);
+    print_rows(&rows, &params);
+    println!(
+        "non-affine kernels rejected with typed errors: {rejected} / {}",
+        rdx_static::non_affine_kernels().len()
+    );
+    let body = body_json(&rows, &params, rejected, args.tol.unwrap_or(0.15));
+    let out = update_bench_json_keeping("static", &body, &["check_tolerance"])
+        .unwrap_or_else(|e| panic!("writing benchmark results: {e}"));
+    println!("wrote {out} (section \"static\")");
+}

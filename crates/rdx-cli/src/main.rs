@@ -21,6 +21,8 @@
 //!            [--pipelined|--no-pipelined] [--decode-buffer N]
 //!            [--decode-ahead N]
 //! rdx sim [--seed N] [--schedules N] [--faults LIST]
+//! rdx static <kernel> [--accesses N] [--elements N] [--seed N]
+//!            [--exact] [--mrc] [--csv] [--metrics]
 //! ```
 //!
 //! `profile` accepts either a registry workload name or a path to a
@@ -62,6 +64,14 @@
 //! of `truncate`, `overlong`, `worker-death`, `batch-panic`,
 //! `session-disorder`.
 //!
+//! `static` estimates an affine kernel's reuse profile symbolically
+//! (`rdx-static`) without generating or executing a single access:
+//! `--mrc` pushes the estimate through `rdx-cache::predict` for
+//! trace-free miss-ratio what-ifs, `--exact` compares against exact
+//! Olken ground truth, and `--metrics` proves the zero-access claim by
+//! crosschecking that every trace/profiler counter stayed zero.
+//! Non-affine workloads are rejected with a typed explanation.
+//!
 //! `--metrics` appends a JSON observability report (from `rdx-metrics`)
 //! that crosschecks the registry counters against the profile fields;
 //! a mismatch is a failure. `rdx trace <file>` validates a serialized
@@ -100,7 +110,9 @@ fn usage() -> ExitCode {
          [--period N] [--seed N] [--registers N] [--chunk-bytes N]\n             \
          [--crosscheck] [--metrics] [--pipelined|--no-pipelined]\n             \
          [--decode-buffer N] [--decode-ahead N]\n  \
-         rdx sim [--seed N] [--schedules N] [--faults LIST]"
+         rdx sim [--seed N] [--schedules N] [--faults LIST]\n  \
+         rdx static <kernel> [--accesses N] [--elements N] [--seed N]\n             \
+         [--exact] [--mrc] [--csv] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -121,6 +133,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
         Some("sim") => sim_cmd(&args[1..]),
+        Some("static") => static_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -223,9 +236,16 @@ impl Opts {
     /// server applies the same checks to options arriving over the wire.
     fn validate(&self) -> Result<(), String> {
         use rdx_core::limits::{
-            check_decode_ahead, check_decode_buffer, check_jobs, check_period, check_registers,
+            check_accesses, check_decode_ahead, check_decode_buffer, check_elements, check_jobs,
+            check_period, check_registers,
         };
         let err = |e: rdx_core::LimitError| format!("--{e}");
+        if let Some(v) = self.accesses {
+            check_accesses(v).map_err(err)?;
+        }
+        if let Some(v) = self.elements {
+            check_elements(v).map_err(err)?;
+        }
         if let Some(v) = self.period {
             check_period(v).map_err(err)?;
         }
@@ -349,6 +369,16 @@ const SUITE_FLAGS: &[&str] = &[
 ];
 
 const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--kernel", "--metrics"];
+
+const STATIC_FLAGS: &[&str] = &[
+    "--accesses",
+    "--elements",
+    "--seed",
+    "--exact",
+    "--mrc",
+    "--csv",
+    "--metrics",
+];
 
 const CLIENT_FLAGS: &[&str] = &[
     "--accesses",
@@ -1309,6 +1339,166 @@ fn sim_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// Counters that must read zero after a static estimate — the proof
+/// that `rdx-static` neither generated, scanned, decoded, nor profiled
+/// a single access. The snapshot is taken before any `--exact`
+/// ground-truth run, which legitimately consumes a stream.
+const STATIC_ZERO_COUNTERS: &[&str] = &[
+    "rdx.machine.fastpath.scanned_accesses",
+    "rdx.profiler.samples",
+    "rdx.profiler.traps",
+    "rdx.runner.accesses",
+    "rdx.runner.profiles",
+    "rdx.sharded.accesses",
+    "rdx.trace.decode.accesses",
+    "rdx.trace.encode.events",
+];
+
+/// Estimates a kernel's reuse profile symbolically via `rdx-static` —
+/// no access is generated or executed. `--mrc` feeds the estimate into
+/// `rdx-cache::predict`; `--exact` compares against exact Olken ground
+/// truth; `--metrics` proves the zero-access claim by crosschecking
+/// that every dynamic-path counter stayed zero. Non-affine workloads
+/// exit FAILURE with a typed explanation, never a wrong profile.
+fn static_cmd(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    if name.starts_with("--") {
+        return usage();
+    }
+    let opts = match Opts::parse(&args[1..], STATIC_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.metrics {
+        rdx_metrics::reset();
+    }
+    let params = opts.params();
+    let stat = match rdx_static::estimate(name, &params) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, rdx_static::StaticError::NotAffine { .. }) {
+                eprintln!(
+                    "note: static models exist for: {}",
+                    rdx_static::affine_kernels().join(", ")
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    // Snapshot now, not at exit: the zero-access proof covers the
+    // estimate itself, not a later --exact comparison run.
+    let snap = opts.metrics.then(rdx_metrics::snapshot);
+    let csv = opts.csv;
+    if !csv {
+        println!("kernel          : {} (static estimate)", stat.kernel);
+        println!("modeled accesses: {}", stat.accesses);
+        println!("period          : {} accesses", stat.period);
+        println!("footprint       : {} blocks", stat.footprint);
+        println!("stores          : {}", stat.stores);
+        println!("reuse classes   : {}", stat.classes);
+        println!("\nstatic reuse-distance histogram (weights normalized):");
+    }
+    print_histogram(stat.rd.as_histogram(), csv);
+
+    if opts.mrc {
+        let levels = rdx_cache::hierarchy();
+        // Word-granular estimate: 8-byte blocks, like Granularity::WORD.
+        let preds = rdx_cache::predict::miss_ratios(&stat.rd, &levels, 8);
+        println!("\npredicted miss ratios (rdx-cache hierarchy, full associativity):");
+        for lvl in &preds {
+            println!(
+                "  {:4} {:>10} blocks  {:.4}",
+                lvl.name, lvl.capacity_blocks, lvl.miss_ratio
+            );
+        }
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    if opts.exact {
+        let spec = by_name(name).expect("affine kernels are registry members");
+        let exact = ExactProfile::measure(spec.stream(&params), Granularity::WORD, Binning::log2());
+        let acc = histogram_intersection(stat.rd.as_histogram(), exact.rd.as_histogram())
+            .expect("same binning");
+        println!("\nexact (ground-truth) histogram:");
+        print_histogram(exact.rd.as_histogram(), csv);
+        println!("\nstatic accuracy vs ground truth: {:.1}%", acc * 100.0);
+        if stat.footprint != exact.distinct_blocks {
+            eprintln!(
+                "error: static footprint {} != exact distinct blocks {}",
+                stat.footprint, exact.distinct_blocks
+            );
+            code = ExitCode::FAILURE;
+        }
+    }
+    if let Some(snap) = snap {
+        let metrics_code = emit_static_metrics(&snap);
+        if code == ExitCode::SUCCESS {
+            code = metrics_code;
+        }
+    }
+    code
+}
+
+/// Prints the `rdx static --metrics` JSON report: the static counters
+/// plus the zero-access crosscheck — every dynamic-path counter in
+/// [`STATIC_ZERO_COUNTERS`] must read zero, or the trace-free claim is
+/// false and the command FAILs.
+fn emit_static_metrics(snap: &rdx_metrics::Snapshot) -> ExitCode {
+    use std::fmt::Write as _;
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let matched = !rdx_metrics::enabled()
+        || (counter("rdx.static.estimates") == 1
+            && STATIC_ZERO_COUNTERS.iter().all(|n| counter(n) == 0));
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"enabled\":{},\"static\":{{\"estimates\":{},\"rejected\":{}}},",
+        rdx_metrics::enabled(),
+        counter("rdx.static.estimates"),
+        counter("rdx.static.rejected")
+    );
+    out.push_str("\"zero_access_crosscheck\":[");
+    for (i, name) in STATIC_ZERO_COUNTERS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let got = counter(name);
+        let _ = write!(
+            out,
+            "{{\"counter\":\"{name}\",\"expected\":0,\"observed\":{got},\"matched\":{}}}",
+            !rdx_metrics::enabled() || got == 0
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"matched\":{matched},\"registry\":{}",
+        snap.to_json()
+    );
+    out.push('}');
+
+    println!("\nmetrics report:");
+    println!("{out}");
+    if !rdx_metrics::enabled() {
+        eprintln!("note: this binary was built without the `metrics` feature; probes are no-ops");
+        return ExitCode::SUCCESS;
+    }
+    if matched {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: a dynamic-path counter is nonzero; the static estimate is not trace-free"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn print_histogram(h: &Histogram, csv: bool) {
     let n = h.normalized();
     let sep = if csv { "," } else { "  " };
@@ -1739,6 +1929,84 @@ mod tests {
         assert_eq!(code, ExitCode::SUCCESS);
         let code = sim_cmd(&to_args(&["--bogus"]));
         assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn static_flags_reject_dynamic_tuning() {
+        for args in [
+            &["--period", "512"][..],
+            &["--registers", "2"][..],
+            &["--jobs", "4"][..],
+            &["--kernel", "swar"][..],
+            &["--pipelined"][..],
+        ] {
+            let err = Opts::parse(&to_args(args), STATIC_FLAGS).unwrap_err();
+            assert!(err.contains("unknown flag"), "{args:?}: {err}");
+        }
+        let opts = Opts::parse(
+            &to_args(&["--accesses", "5000", "--elements", "300", "--mrc"]),
+            STATIC_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.accesses, Some(5000));
+        assert!(opts.mrc);
+    }
+
+    #[test]
+    fn zero_accesses_and_elements_are_flag_errors() {
+        // Params::with_accesses(0) would panic downstream; the boundary
+        // rejects it as a per-parameter error first.
+        for flags in [PROFILE_FLAGS, SUITE_FLAGS, STATIC_FLAGS] {
+            let err = Opts::parse(&to_args(&["--accesses", "0"]), flags).unwrap_err();
+            assert_eq!(err, "--accesses must be at least 1 (got 0)");
+            let err = Opts::parse(&to_args(&["--elements", "0"]), flags).unwrap_err();
+            assert_eq!(err, "--elements must be at least 1 (got 0)");
+        }
+    }
+
+    #[test]
+    fn static_cmd_estimates_affine_and_rejects_non_affine() {
+        let _guard = metrics_guard();
+        let code = static_cmd(&to_args(&[
+            "stream_triad",
+            "--accesses",
+            "60000",
+            "--elements",
+            "3000",
+            "--exact",
+            "--mrc",
+            "--csv",
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        // Non-affine workloads are a typed refusal, not a wrong answer.
+        let code = static_cmd(&to_args(&["pointer_chase", "--accesses", "1000"]));
+        assert_eq!(code, ExitCode::FAILURE);
+        let code = static_cmd(&to_args(&["no-such-kernel"]));
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn static_cmd_metrics_prove_zero_dynamic_accesses() {
+        let _guard = metrics_guard();
+        // The crosscheck fails the command if any trace/profiler/runner
+        // counter moved — the trace-free claim, enforced.
+        let code = static_cmd(&to_args(&[
+            "matmul_naive",
+            "--accesses",
+            "50000",
+            "--elements",
+            "768",
+            "--metrics",
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+        if rdx_metrics::enabled() {
+            let snap = rdx_metrics::snapshot();
+            assert_eq!(snap.counter("rdx.static.estimates"), Some(1));
+            for name in STATIC_ZERO_COUNTERS {
+                assert_eq!(snap.counter(name).unwrap_or(0), 0, "{name}");
+            }
+        }
     }
 
     #[test]

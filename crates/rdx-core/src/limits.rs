@@ -104,6 +104,40 @@ pub fn check_decode_buffer(capacity: usize) -> Result<usize, LimitError> {
     Ok(capacity)
 }
 
+/// Validates an access-count parameter (`Params::with_accesses` panics
+/// on 0, so the boundary must reject it first).
+///
+/// # Errors
+///
+/// [`LimitError`] if `accesses` is 0.
+pub fn check_accesses(accesses: u64) -> Result<u64, LimitError> {
+    if accesses == 0 {
+        return Err(LimitError {
+            param: "accesses",
+            requirement: "at least 1",
+            got: 0,
+        });
+    }
+    Ok(accesses)
+}
+
+/// Validates an element-count parameter (`Params::with_elements` panics
+/// on 0, so the boundary must reject it first).
+///
+/// # Errors
+///
+/// [`LimitError`] if `elements` is 0.
+pub fn check_elements(elements: u64) -> Result<u64, LimitError> {
+    if elements == 0 {
+        return Err(LimitError {
+            param: "elements",
+            requirement: "at least 1",
+            got: 0,
+        });
+    }
+    Ok(elements)
+}
+
 /// Validates a decode-ahead ring depth.
 ///
 /// # Errors
@@ -144,6 +178,11 @@ mod tests {
         assert!(check_decode_ahead(0).is_err());
         assert!(check_decode_ahead(1).is_err());
         assert_eq!(check_decode_ahead(2), Ok(2));
+
+        assert!(check_accesses(0).is_err());
+        assert_eq!(check_accesses(1), Ok(1));
+        assert!(check_elements(0).is_err());
+        assert_eq!(check_elements(1 << 30), Ok(1 << 30));
     }
 
     #[test]
@@ -156,5 +195,9 @@ mod tests {
         let e = check_decode_ahead(1).unwrap_err();
         assert_eq!(e.param, "decode-ahead");
         assert_eq!(e.got, 1);
+        let e = check_accesses(0).unwrap_err();
+        assert_eq!(e.to_string(), "accesses must be at least 1 (got 0)");
+        let e = check_elements(0).unwrap_err();
+        assert_eq!(e.param, "elements");
     }
 }

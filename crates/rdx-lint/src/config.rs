@@ -35,6 +35,11 @@ pub struct LintConfig {
     /// Crates whose `rdx_metrics::counter` calls are not name-checked
     /// (the metrics crate's own demos and tests).
     pub metrics_exempt_crates: Vec<String>,
+    /// `(registry crate, coverage crate)` pair for the
+    /// `registry-coverage` lint: every `spec!` workload in the first
+    /// crate must have exactly one `affine!`/`non_affine!` entry in the
+    /// second, and vice versa. `None` disables the lint.
+    pub registry_coverage: Option<(String, String)>,
 }
 
 fn strings(items: &[&str]) -> Vec<String> {
@@ -48,8 +53,8 @@ impl LintConfig {
     ///
     /// ```text
     /// 7  rdx-cli
-    /// 6  rdx-sim
-    /// 5  rdx-server  rdx-bench   rdx-lint
+    /// 6  rdx-sim   rdx-bench
+    /// 5  rdx-server  rdx-static  rdx-lint
     /// 4  rdx-core  rdx-baselines
     /// 3  rdx-groundtruth  rdx-cache
     /// 2  memsim    rdx-workloads
@@ -67,6 +72,7 @@ impl LintConfig {
                 "rdx-trace",
                 "rdx-server",
                 "rdx-sim",
+                "rdx-static",
             ]),
             clock_exempt_crates: strings(&["rdx-bench", "rdx-metrics"]),
             hot_path_files: [
@@ -86,6 +92,8 @@ impl LintConfig {
                 ("rdx-server", "protocol.rs"),
                 ("rdx-server", "session.rs"),
                 ("rdx-server", "server.rs"),
+                ("rdx-static", "analysis.rs"),
+                ("rdx-static", "ir.rs"),
             ]
             .iter()
             .map(|&(c, f)| (c.to_string(), f.to_string()))
@@ -107,7 +115,8 @@ impl LintConfig {
                 ("rdx-server", 5),
                 ("rdx-sim", 6),
                 ("rdx-cli", 7),
-                ("rdx-bench", 5),
+                ("rdx-static", 5),
+                ("rdx-bench", 6),
                 ("rdx-lint", 5),
             ]
             .iter()
@@ -125,6 +134,7 @@ impl LintConfig {
             ]),
             counters_manifest: Some("crates/rdx-metrics/COUNTERS.txt".to_string()),
             metrics_exempt_crates: strings(&["rdx-metrics"]),
+            registry_coverage: Some(("rdx-workloads".to_string(), "rdx-static".to_string())),
         }
     }
 

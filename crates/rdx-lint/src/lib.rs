@@ -21,6 +21,7 @@
 //! | `unsafe-confinement` | `unsafe` tokens only in allowlisted kernel modules |
 //! | `metrics-name` | counter names follow `rdx.<area>.<name>` |
 //! | `metrics-manifest` | counters declared in `COUNTERS.txt`, both directions |
+//! | `registry-coverage` | every registry workload has a static model or an explicit non-affine marker |
 //!
 //! `#[cfg(test)]` items are exempt everywhere. Individual findings are
 //! suppressed with a justified directive on the flagged line or the
@@ -73,11 +74,14 @@ pub enum Lint {
     MetricsName,
     /// Counter not declared in the manifest (or declared but unused).
     MetricsManifest,
+    /// Registry workload without a static-coverage entry (or a stale /
+    /// duplicate coverage entry naming no live workload).
+    RegistryCoverage,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 10] = [
+    pub const ALL: [Lint; 11] = [
         Lint::HashCollections,
         Lint::WallClock,
         Lint::EntropyRng,
@@ -88,6 +92,7 @@ impl Lint {
         Lint::UnsafeConfinement,
         Lint::MetricsName,
         Lint::MetricsManifest,
+        Lint::RegistryCoverage,
     ];
 
     /// The kebab-case name used in diagnostics and `rdx-lint-allow:`.
@@ -104,6 +109,7 @@ impl Lint {
             Lint::UnsafeConfinement => "unsafe-confinement",
             Lint::MetricsName => "metrics-name",
             Lint::MetricsManifest => "metrics-manifest",
+            Lint::RegistryCoverage => "registry-coverage",
         }
     }
 
@@ -127,6 +133,9 @@ impl Lint {
             Lint::UnsafeConfinement => "confine `unsafe` tokens to the allowlisted kernel modules",
             Lint::MetricsName => "counter names must match the rdx.<area>.<name> scheme",
             Lint::MetricsManifest => "counters must be declared in COUNTERS.txt (both ways)",
+            Lint::RegistryCoverage => {
+                "every registry workload needs a static model or a non-affine marker"
+            }
         }
     }
 }
@@ -220,6 +229,7 @@ pub fn check_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Viola
         );
     }
     lints::layering::check(&crates, config, &mut sink);
+    lints::registry::check(&crates, config, &mut sink);
     if declared.is_some() {
         if let Some(rel) = &config.counters_manifest {
             lints::hygiene::check_unused_counters(

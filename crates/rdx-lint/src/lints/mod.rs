@@ -5,6 +5,7 @@ pub mod determinism;
 pub mod hygiene;
 pub mod layering;
 pub mod panics;
+pub mod registry;
 
 use crate::lexer::Tok;
 use crate::workspace::{CrateSrc, SourceFile};

@@ -1,0 +1,122 @@
+//! `registry-coverage` — every workload in the registry crate must have
+//! a static-coverage entry, and every entry must name a live workload.
+//!
+//! The workload registry declares kernels with `spec!(name, ...)`; the
+//! static-estimation crate declares, per kernel, either an `affine!`
+//! model or an explicit `non_affine!(name, "why")` marker. This lint
+//! cross-checks the two token streams so a kernel can never be added to
+//! the registry without someone deciding whether `rdx static` supports
+//! it — a missing decision would surface as an `UnknownKernel` error at
+//! runtime instead of review time.
+//!
+//! Three shapes fire: a registry workload with no coverage entry
+//! (reported at the `spec!` site), a stale coverage entry naming no
+//! workload (reported at the marker site), and a duplicate coverage
+//! entry (reported at the second site). The pass is a pure token scan:
+//! a macro *definition* (`macro_rules! spec { ... }`) never matches
+//! because the name is followed by `{`, not `(`.
+
+use super::Sink;
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::workspace::{CrateSrc, SourceFile};
+use crate::Lint;
+use std::path::Path;
+
+/// One macro invocation site: `mac!(name, ...)`.
+struct Site<'a> {
+    name: &'a str,
+    file: &'a SourceFile,
+    line: u32,
+}
+
+/// Collects `mac ! ( NAME` invocation sites for any of `macros` across
+/// a crate, in deterministic (file, source) order.
+fn macro_sites<'a>(krate: &'a CrateSrc, macros: &[&str]) -> Vec<Site<'a>> {
+    let mut sites = Vec::new();
+    for file in &krate.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if macros.iter().any(|m| toks[i].is_ident(m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                sites.push(Site {
+                    name: &toks[i + 3].text,
+                    file,
+                    line: toks[i].line,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// Cross-checks the registry crate's `spec!` entries against the
+/// coverage crate's `affine!`/`non_affine!` markers. A no-op unless
+/// `config.registry_coverage` names both crates; a configured crate
+/// that is missing from the workspace is itself a violation.
+pub fn check(crates: &[CrateSrc], config: &LintConfig, sink: &mut Sink) {
+    let Some((registry_name, coverage_name)) = &config.registry_coverage else {
+        return;
+    };
+    let mut lookup = |name: &str| {
+        let found = crates.iter().find(|k| k.name == *name);
+        if found.is_none() {
+            sink.emit_path(
+                &Path::new("crates").join(name).join("Cargo.toml"),
+                Lint::RegistryCoverage,
+                1,
+                format!("registry-coverage names crate `{name}`, which is not in the workspace"),
+            );
+        }
+        found
+    };
+    let (Some(registry), Some(coverage)) = (lookup(registry_name), lookup(coverage_name)) else {
+        return;
+    };
+
+    let specs = macro_sites(registry, &["spec"]);
+    let covers = macro_sites(coverage, &["affine", "non_affine"]);
+
+    for s in &specs {
+        if !covers.iter().any(|c| c.name == s.name) {
+            sink.emit_src(
+                s.file,
+                Lint::RegistryCoverage,
+                s.line,
+                format!(
+                    "workload `{}` has no static-coverage entry in `{coverage_name}`: \
+                     add `affine!({})` with a model, or `non_affine!({}, \"why\")`",
+                    s.name, s.name, s.name
+                ),
+            );
+        }
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for c in &covers {
+        if !specs.iter().any(|s| s.name == c.name) {
+            sink.emit_src(
+                c.file,
+                Lint::RegistryCoverage,
+                c.line,
+                format!(
+                    "static-coverage entry `{}` names no workload in `{registry_name}`: \
+                     delete it or update the name",
+                    c.name
+                ),
+            );
+        }
+        if seen.contains(&c.name) {
+            sink.emit_src(
+                c.file,
+                Lint::RegistryCoverage,
+                c.line,
+                format!("duplicate static-coverage entry for `{}`", c.name),
+            );
+        } else {
+            seen.push(c.name);
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //!                [--metrics-exempt NAME]... [--hot-path CRATE/FILE]...
 //!                [--layer NAME=N]... [--external NAME]...
 //!                [--counters-manifest PATH]
+//!                [--registry-coverage REGISTRY=COVERAGE]
 //! rdx-lint list
 //! ```
 //!
@@ -30,6 +31,7 @@ fn usage() -> ExitCode {
          \u{20}                     [--metrics-exempt NAME]... [--hot-path CRATE/FILE]...\n\
          \u{20}                     [--layer NAME=N]... [--external NAME]...\n\
          \u{20}                     [--counters-manifest PATH]\n\
+         \u{20}                     [--registry-coverage REGISTRY=COVERAGE]\n\
          \u{20}      rdx-lint list"
     );
     ExitCode::from(2)
@@ -78,6 +80,15 @@ fn check(args: &[String]) -> ExitCode {
                 config
                     .hot_path_files
                     .push((krate.to_string(), file.to_string()));
+            }
+            "--registry-coverage" => {
+                let Some((reg, cov)) = value.split_once('=') else {
+                    eprintln!(
+                        "rdx-lint: `--registry-coverage` wants REGISTRY=COVERAGE, got `{value}`"
+                    );
+                    return usage();
+                };
+                config.registry_coverage = Some((reg.to_string(), cov.to_string()));
             }
             "--layer" => {
                 let parsed = value

@@ -17,14 +17,16 @@ fn fixture(name: &str) -> PathBuf {
 }
 
 /// The configuration shared by the `clean`/`dirty`/`suppressed`
-/// fixtures: `alpha` (layer 1) is hot with hot-path file `hot.rs`,
-/// `beta` is the base layer, counters live in `counters.txt`.
+/// fixtures: `alpha` (layer 1) is hot with hot-path file `hot.rs` and
+/// the workload registry, `beta` is the base layer carrying the
+/// static-coverage markers, counters live in `counters.txt`.
 fn alpha_config() -> LintConfig {
     LintConfig {
         hot_crates: vec!["alpha".into()],
         hot_path_files: vec![("alpha".into(), "hot.rs".into())],
         layers: vec![("alpha".into(), 1), ("beta".into(), 0)],
         counters_manifest: Some("counters.txt".into()),
+        registry_coverage: Some(("alpha".into(), "beta".into())),
         ..LintConfig::default()
     }
 }
@@ -53,8 +55,9 @@ fn dirty_fixture_trips_every_lint() {
     // One pattern per lint, except layering (upward edge + unknown dep),
     // metrics-manifest (undeclared counter + stale entry) and
     // forbid-unsafe (alpha's missing attr + beta's unjustified deny)
-    // which carry two each.
-    assert_eq!(violations.len(), 13, "{}", rdx_lint::render(&violations));
+    // which carry two each, and registry-coverage (uncovered workload +
+    // stale marker + duplicate marker) which carries three.
+    assert_eq!(violations.len(), 16, "{}", rdx_lint::render(&violations));
 }
 
 #[test]
@@ -78,6 +81,17 @@ fn dirty_fixture_flags_the_expected_sites() {
     assert!(has(Lint::MetricsManifest, "counters.txt")); // stale entry
     assert!(has(Lint::Layering, "alpha/Cargo.toml")); // unknown dep
     assert!(has(Lint::Layering, "beta/Cargo.toml")); // upward edge
+    assert!(has(Lint::RegistryCoverage, "alpha/src/registry.rs")); // uncovered
+    assert!(has(Lint::RegistryCoverage, "beta/src/coverage.rs")); // stale + duplicate
+    let coverage_msgs: Vec<&str> = violations
+        .iter()
+        .filter(|v| v.lint == Lint::RegistryCoverage)
+        .map(|v| v.message.as_str())
+        .collect();
+    assert_eq!(coverage_msgs.len(), 3, "{coverage_msgs:?}");
+    assert!(coverage_msgs.iter().any(|m| m.contains("alpha_random")));
+    assert!(coverage_msgs.iter().any(|m| m.contains("alpha_ghost")));
+    assert!(coverage_msgs.iter().any(|m| m.contains("duplicate")));
 }
 
 #[test]
@@ -124,6 +138,8 @@ fn run_binary(fixture_name: &str) -> std::process::Output {
             "beta=0",
             "--counters-manifest",
             "counters.txt",
+            "--registry-coverage",
+            "alpha=beta",
         ])
         .output()
         .expect("spawn rdx-lint")

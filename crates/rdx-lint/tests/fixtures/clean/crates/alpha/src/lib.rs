@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 
 mod hot;
+mod registry;
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,6 @@
+//! Mini workload registry, mirroring the `spec!` shape the
+//! `registry-coverage` lint scans for. Every entry here has a matching
+//! coverage marker in `beta/src/coverage.rs`.
+
+spec!(alpha_stream, "stream", "sequential sweep");
+spec!(alpha_random, "random", "uniform random probes");

@@ -1,0 +1,5 @@
+//! Static-coverage markers: exactly one entry per workload declared in
+//! `alpha/src/registry.rs`, none stale, none duplicated.
+
+affine!(alpha_stream);
+non_affine!(alpha_random, "entropy-driven address sequence");

@@ -2,6 +2,8 @@
 
 #![forbid(unsafe_code)]
 
+mod coverage;
+
 /// Nothing to see here.
 pub fn id(x: u64) -> u64 {
     x

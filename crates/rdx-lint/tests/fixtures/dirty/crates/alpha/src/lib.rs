@@ -2,6 +2,7 @@
 //! (Deliberately no `#![forbid(unsafe_code)]` — that is one of them.)
 
 mod hot;
+mod registry;
 
 use std::collections::HashMap;
 use std::time::Instant;

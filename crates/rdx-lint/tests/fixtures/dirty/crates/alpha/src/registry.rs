@@ -1,0 +1,5 @@
+//! Mini workload registry: `alpha_random` has no coverage marker in
+//! `beta/src/coverage.rs`, so `registry-coverage` must flag it here.
+
+spec!(alpha_stream, "stream", "covered: affine marker exists");
+spec!(alpha_random, "random", "uncovered: no marker in beta");

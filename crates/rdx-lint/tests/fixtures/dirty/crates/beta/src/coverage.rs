@@ -1,0 +1,6 @@
+//! Static-coverage markers tripping the other two `registry-coverage`
+//! shapes: a duplicate entry and a stale one naming no workload.
+
+affine!(alpha_stream);
+affine!(alpha_stream);
+non_affine!(alpha_ghost, "stale: workload was removed from alpha");

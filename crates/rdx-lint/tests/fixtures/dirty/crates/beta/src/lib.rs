@@ -3,6 +3,8 @@
 
 #![deny(unsafe_code)]
 
+mod coverage;
+
 /// Nothing to see here.
 pub fn id(x: u64) -> u64 {
     x

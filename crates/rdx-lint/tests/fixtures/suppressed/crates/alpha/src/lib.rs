@@ -2,6 +2,7 @@
 //! Suppressed fixture crate: the dirty patterns, each individually allowed.
 
 mod hot;
+mod registry;
 
 use std::collections::HashMap; // rdx-lint-allow: hash-collections — fixture
 use std::time::Instant;

@@ -1,0 +1,4 @@
+//! The dirty registry pattern (uncovered workload), suppressed.
+
+spec!(alpha_stream, "stream", "covered");
+spec!(alpha_random, "random", "uncovered"); // rdx-lint-allow: registry-coverage — fixture

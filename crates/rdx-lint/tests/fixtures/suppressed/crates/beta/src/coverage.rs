@@ -1,0 +1,6 @@
+//! The dirty coverage patterns (duplicate + stale entry), suppressed.
+
+affine!(alpha_stream);
+affine!(alpha_stream); // rdx-lint-allow: registry-coverage — fixture
+// rdx-lint-allow: registry-coverage — fixture
+non_affine!(alpha_ghost, "stale");

@@ -3,6 +3,8 @@
 // rdx-lint-allow: forbid-unsafe — fixture: justified deny must be accepted
 #![deny(unsafe_code)]
 
+mod coverage;
+
 /// Nothing to see here.
 pub fn id(x: u64) -> u64 {
     x

@@ -1,0 +1,160 @@
+//! The coverage registry: every workload in `rdx-workloads::registry`
+//! is either affine (with a static model) or explicitly non-affine.
+//!
+//! The `registry-coverage` lint in `rdx-lint` scans the `affine!` /
+//! `non_affine!` invocations below and cross-checks them against the
+//! `spec!` entries in the workload registry, so the two lists can never
+//! silently drift: adding a workload without deciding its static story
+//! — or keeping a marker for a deleted workload — fails CI.
+
+use crate::analysis::KernelModel;
+use rdx_workloads::Params;
+
+/// A workload's static-analysis status.
+#[derive(Clone, Copy)]
+pub enum Model {
+    /// Affine: the builder produces the kernel's static model.
+    Affine(fn(&Params) -> KernelModel),
+    /// Non-affine: estimation is rejected, with this reason.
+    NonAffine(&'static str),
+}
+
+/// One coverage entry: a registry workload name and its status.
+#[derive(Clone, Copy)]
+pub struct Coverage {
+    /// Workload name, identical to the registry spelling.
+    pub name: &'static str,
+    /// Affine model or non-affine marker.
+    pub model: Model,
+}
+
+macro_rules! affine {
+    ($name:ident) => {
+        Coverage {
+            name: stringify!($name),
+            model: Model::Affine(crate::models::$name),
+        }
+    };
+}
+
+macro_rules! non_affine {
+    ($name:ident, $why:literal) => {
+        Coverage {
+            name: stringify!($name),
+            model: Model::NonAffine($why),
+        }
+    };
+}
+
+/// Coverage for the full 18-kernel registry, in registry order.
+pub const COVERAGE: &[Coverage] = &[
+    affine!(stream_triad),
+    affine!(strided),
+    affine!(sawtooth),
+    non_affine!(
+        fifo_queue,
+        "producer/consumer cursors advance on run-time state, not loop indices"
+    ),
+    non_affine!(random_uniform, "RNG-driven uniform addressing"),
+    non_affine!(zipf, "RNG-driven Zipf popularity sampling"),
+    non_affine!(gauss_hotset, "RNG-driven gaussian hot set with drift"),
+    non_affine!(
+        hash_probe,
+        "hashed slots and geometric probe lengths from the RNG"
+    ),
+    non_affine!(
+        pointer_chase,
+        "addresses follow a data-dependent random permutation"
+    ),
+    non_affine!(bst_search, "tree descent directions drawn from the RNG"),
+    non_affine!(spmv, "random gathers into the dense vector"),
+    affine!(matmul_naive),
+    affine!(matmul_blocked),
+    affine!(stencil2d),
+    affine!(stencil3d),
+    non_affine!(
+        sort_merge,
+        "merge cursors depend on the doubling run length"
+    ),
+    non_affine!(
+        phased,
+        "RNG-driven accesses inside schedule-dependent hot sets"
+    ),
+    affine!(lru_adversary),
+];
+
+/// Looks up a workload's coverage entry by registry name.
+#[must_use]
+pub fn lookup(name: &str) -> Option<&'static Coverage> {
+    COVERAGE.iter().find(|c| c.name == name)
+}
+
+/// True when the workload has a static model.
+#[must_use]
+pub fn is_affine(name: &str) -> bool {
+    matches!(
+        lookup(name),
+        Some(Coverage {
+            model: Model::Affine(_),
+            ..
+        })
+    )
+}
+
+/// Names of all affine workloads, in registry order.
+#[must_use]
+pub fn affine_kernels() -> Vec<&'static str> {
+    COVERAGE
+        .iter()
+        .filter(|c| matches!(c.model, Model::Affine(_)))
+        .map(|c| c.name)
+        .collect()
+}
+
+/// Names of all non-affine workloads, in registry order.
+#[must_use]
+pub fn non_affine_kernels() -> Vec<&'static str> {
+    COVERAGE
+        .iter()
+        .filter(|c| matches!(c.model, Model::NonAffine(_)))
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_matches_registry_exactly() {
+        let registry: Vec<&str> = rdx_workloads::suite().iter().map(|w| w.name).collect();
+        let covered: Vec<&str> = COVERAGE.iter().map(|c| c.name).collect();
+        assert_eq!(covered, registry, "coverage must track the registry 1:1");
+    }
+
+    #[test]
+    fn affine_split_is_stable() {
+        assert_eq!(
+            affine_kernels(),
+            [
+                "stream_triad",
+                "strided",
+                "sawtooth",
+                "matmul_naive",
+                "matmul_blocked",
+                "stencil2d",
+                "stencil3d",
+                "lru_adversary",
+            ]
+        );
+        assert_eq!(affine_kernels().len() + non_affine_kernels().len(), 18);
+    }
+
+    #[test]
+    fn lookup_and_is_affine() {
+        assert!(is_affine("stream_triad"));
+        assert!(!is_affine("pointer_chase"));
+        assert!(!is_affine("no_such_kernel"));
+        assert!(lookup("zipf").is_some());
+    }
+}

@@ -1,0 +1,421 @@
+//! The affine loop-nest IR and its structural accounting.
+//!
+//! A kernel is modeled as a sequence of [`LoopNest`]s executed in order
+//! and repeated forever (the registry truncates the infinite schedule at
+//! `params.accesses`). Each nest is a rectangular iteration space; each
+//! innermost iteration issues its [`ArrayRef`]s in order. A reference
+//! addresses one element of a row-major array through per-dimension
+//! affine [`Coord`]s: `value = offset + Σ coeff_j · loop_j`, optionally
+//! wrapped modulo the dimension bound or clamped into it.
+//!
+//! Everything the estimator needs besides the reuse intervals themselves
+//! is *exact* and computed here: accesses per period, store counts for an
+//! arbitrary truncation point, and the per-array footprint (via the
+//! covering-reference rule below). These are the quantities the
+//! structural-consistency proptest pins against the generated streams.
+
+use std::fmt;
+
+/// How a coordinate value is folded into `[0, bound)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wrap {
+    /// The affine value is used directly and must already be in range.
+    None,
+    /// The affine value is reduced modulo `bound`.
+    Modulo,
+    /// The affine value is clamped into `[0, bound)` (stencil borders).
+    Clamp,
+}
+
+/// One dimension of an array reference: an affine function of the loop
+/// indices, folded into `[0, bound)` according to `wrap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coord {
+    /// Row-major pitch: the flat-index multiplier of this dimension.
+    pub pitch: u64,
+    /// Dimension extent: values lie in `[0, bound)`.
+    pub bound: u64,
+    /// Per-loop coefficients, aligned with the nest's `extents`.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub offset: i64,
+    /// Folding rule for out-of-range values.
+    pub wrap: Wrap,
+}
+
+/// A single array reference issued once per innermost iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Array (address-region) identifier.
+    pub array: u64,
+    /// True for stores.
+    pub store: bool,
+    /// Outermost dimension first; flat index is `Σ value_d · pitch_d`.
+    pub coords: Vec<Coord>,
+}
+
+/// A rectangular loop nest issuing `refs` once per innermost iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Loop trip counts, outermost first; the last loop varies fastest.
+    pub extents: Vec<u64>,
+    /// References in issue order; their index is the *lane*.
+    pub refs: Vec<ArrayRef>,
+}
+
+/// A whole kernel: nests executed in order, repeated forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelIr {
+    /// Registry name of the kernel this IR models.
+    pub name: &'static str,
+    /// The nests of one period.
+    pub nests: Vec<LoopNest>,
+}
+
+/// A structural defect in an IR (a model bug, not a user error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An array has no reference whose image covers the full array box.
+    NoCoveringRef {
+        /// The array missing a covering reference.
+        array: u64,
+    },
+    /// A reference's image escapes the array box it claims to address.
+    RefOutOfBounds {
+        /// The offending array.
+        array: u64,
+    },
+    /// References to one array disagree on its dimensions or pitches.
+    InconsistentArrayShape {
+        /// The offending array.
+        array: u64,
+    },
+    /// Coordinate pitches are not row-major consistent.
+    NotRowMajor {
+        /// The offending array.
+        array: u64,
+    },
+    /// A nest has no loops, no refs, or a zero extent.
+    EmptyNest,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::NoCoveringRef { array } => {
+                write!(f, "array {array} has no reference covering its full box")
+            }
+            IrError::RefOutOfBounds { array } => {
+                write!(f, "a reference to array {array} escapes the array bounds")
+            }
+            IrError::InconsistentArrayShape { array } => {
+                write!(f, "references to array {array} disagree on its shape")
+            }
+            IrError::NotRowMajor { array } => {
+                write!(f, "array {array} coordinate pitches are not row-major")
+            }
+            IrError::EmptyNest => write!(f, "a loop nest has no loops, no refs, or a zero extent"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// What a coordinate's value set looks like, for footprint reasoning.
+struct CoordImage {
+    /// The image is exactly `[0, bound)`.
+    full: bool,
+    /// The image is contained in `[0, bound)`.
+    contained: bool,
+}
+
+/// Describes the image of one affine coordinate over its nest.
+///
+/// The unfolded image is `[lo, hi]` with `lo/hi` the extreme affine
+/// values; it is an *interval* (dense) when the sorted nonzero
+/// coefficient magnitudes satisfy the mixed-radix density condition
+/// `|c_m| ≤ 1 + Σ_{l<m} |c_l|·(e_l − 1)`.
+fn coord_image(c: &Coord, extents: &[u64]) -> CoordImage {
+    let mut lo = c.offset;
+    let mut hi = c.offset;
+    let mut terms: Vec<(u64, u64)> = Vec::new(); // (|coeff|, extent)
+    for (j, &coeff) in c.coeffs.iter().enumerate() {
+        let e = extents.get(j).copied().unwrap_or(1);
+        if coeff == 0 || e <= 1 {
+            continue;
+        }
+        let swing = coeff.saturating_mul(e as i64 - 1);
+        if swing > 0 {
+            hi = hi.saturating_add(swing);
+        } else {
+            lo = lo.saturating_add(swing);
+        }
+        terms.push((coeff.unsigned_abs(), e));
+    }
+    terms.sort_unstable();
+    let mut dense = true;
+    let mut reach: u64 = 1; // size of the dense prefix interval
+    for &(a, e) in &terms {
+        if a > reach {
+            dense = false;
+            break;
+        }
+        reach = reach.saturating_add(a.saturating_mul(e - 1));
+    }
+    let span = hi.saturating_sub(lo).unsigned_abs().saturating_add(1);
+    let bound = c.bound as i64;
+    match c.wrap {
+        Wrap::None => CoordImage {
+            full: dense && lo == 0 && hi == bound - 1,
+            contained: lo >= 0 && hi < bound,
+        },
+        Wrap::Modulo => CoordImage {
+            full: dense && span >= c.bound,
+            contained: true,
+        },
+        Wrap::Clamp => CoordImage {
+            full: dense && lo <= 0 && hi >= bound - 1,
+            contained: true,
+        },
+    }
+}
+
+impl LoopNest {
+    /// Innermost iterations in one pass of the nest.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.extents
+            .iter()
+            .fold(1u64, |acc, &e| acc.saturating_mul(e))
+    }
+
+    /// Accesses issued by one pass of the nest.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.iterations().saturating_mul(self.refs.len() as u64)
+    }
+
+    /// Store lanes per innermost iteration.
+    #[must_use]
+    pub fn stores_per_iter(&self) -> u64 {
+        self.refs.iter().filter(|r| r.store).count() as u64
+    }
+
+    /// Iteration-index stride of loop `j`: how many innermost iterations
+    /// pass between consecutive values of that loop variable.
+    #[must_use]
+    pub fn loop_stride(&self, j: usize) -> u64 {
+        self.extents
+            .iter()
+            .skip(j + 1)
+            .fold(1u64, |acc, &e| acc.saturating_mul(e))
+    }
+}
+
+impl KernelIr {
+    /// Accesses in one full period (all nests, once each).
+    #[must_use]
+    pub fn period_accesses(&self) -> u64 {
+        self.nests.iter().map(LoopNest::accesses).sum()
+    }
+
+    /// Exact store count in the first `accesses` accesses of the
+    /// truncated schedule — full periods, then full nests, then full
+    /// iterations, then a lane prefix.
+    #[must_use]
+    pub fn stores(&self, accesses: u64) -> u64 {
+        let period = self.period_accesses();
+        if period == 0 {
+            return 0;
+        }
+        let per_period: u64 = self
+            .nests
+            .iter()
+            .map(|n| n.iterations().saturating_mul(n.stores_per_iter()))
+            .sum();
+        let mut stores = (accesses / period).saturating_mul(per_period);
+        let mut rem = accesses % period;
+        for nest in &self.nests {
+            if rem == 0 {
+                break;
+            }
+            let take = rem.min(nest.accesses());
+            let lanes = nest.refs.len() as u64;
+            if let Some(whole) = take.checked_div(lanes) {
+                stores += whole.saturating_mul(nest.stores_per_iter());
+                let partial = (take % lanes) as usize;
+                stores += nest.refs[..partial].iter().filter(|r| r.store).count() as u64;
+            }
+            rem -= take;
+        }
+        stores
+    }
+
+    /// Distinct elements touched by one full period (and therefore by any
+    /// truncation of at least one period), summed over arrays.
+    ///
+    /// Uses the covering-reference rule: every array must carry at least
+    /// one reference whose per-dimension images are *exactly* `[0,
+    /// bound)` (dense by the mixed-radix condition), and every other
+    /// reference must stay inside the box. The footprint of the array is
+    /// then the box volume, exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError`] when the IR violates the covering rule — a model bug.
+    pub fn footprint(&self) -> Result<u64, IrError> {
+        // (array id, shape fingerprint, covering seen) in first-touch order.
+        type ArraySeen = (u64, Vec<(u64, u64)>, bool);
+        let mut arrays: Vec<ArraySeen> = Vec::new();
+        for nest in &self.nests {
+            if nest.extents.is_empty() || nest.refs.is_empty() || nest.extents.contains(&0) {
+                return Err(IrError::EmptyNest);
+            }
+            for r in &nest.refs {
+                let shape: Vec<(u64, u64)> = r.coords.iter().map(|c| (c.pitch, c.bound)).collect();
+                // Row-major pitch consistency.
+                let mut expect = 1u64;
+                for &(pitch, bound) in shape.iter().rev() {
+                    if pitch != expect {
+                        return Err(IrError::NotRowMajor { array: r.array });
+                    }
+                    expect = expect.saturating_mul(bound);
+                }
+                let mut covering = true;
+                for c in &r.coords {
+                    let img = coord_image(c, &nest.extents);
+                    if !img.contained {
+                        return Err(IrError::RefOutOfBounds { array: r.array });
+                    }
+                    covering &= img.full;
+                }
+                match arrays.iter_mut().find(|(id, _, _)| *id == r.array) {
+                    Some((_, seen_shape, seen_cover)) => {
+                        if *seen_shape != shape {
+                            return Err(IrError::InconsistentArrayShape { array: r.array });
+                        }
+                        *seen_cover |= covering;
+                    }
+                    None => arrays.push((r.array, shape, covering)),
+                }
+            }
+        }
+        let mut total = 0u64;
+        for (array, shape, covered) in arrays {
+            if !covered {
+                return Err(IrError::NoCoveringRef { array });
+            }
+            total += shape
+                .iter()
+                .fold(1u64, |acc, &(_, b)| acc.saturating_mul(b));
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cyc(n: u64) -> KernelIr {
+        KernelIr {
+            name: "cyc",
+            nests: vec![LoopNest {
+                extents: vec![n],
+                refs: vec![ArrayRef {
+                    array: 0,
+                    store: false,
+                    coords: vec![Coord {
+                        pitch: 1,
+                        bound: n,
+                        coeffs: vec![1],
+                        offset: 0,
+                        wrap: Wrap::None,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let ir = cyc(10);
+        assert_eq!(ir.period_accesses(), 10);
+        assert_eq!(ir.footprint().unwrap(), 10);
+        assert_eq!(ir.stores(100), 0);
+    }
+
+    #[test]
+    fn store_truncation_is_lane_exact() {
+        // two refs per iteration, second is a store
+        let mut ir = cyc(4);
+        let mut st = ir.nests[0].refs[0].clone();
+        st.store = true;
+        ir.nests[0].refs.push(st);
+        assert_eq!(ir.period_accesses(), 8);
+        assert_eq!(ir.stores(0), 0);
+        assert_eq!(ir.stores(1), 0); // load only
+        assert_eq!(ir.stores(2), 1); // load + store
+        assert_eq!(ir.stores(3), 1);
+        assert_eq!(ir.stores(8), 4);
+        assert_eq!(ir.stores(17), 8); // two periods + one load
+        assert_eq!(ir.stores(18), 9);
+    }
+
+    #[test]
+    fn descending_ref_covers() {
+        // coeff −1 with offset n−1 walks n−1..0: still a full cover.
+        let mut ir = cyc(6);
+        ir.nests[0].refs[0].coords[0].coeffs = vec![-1];
+        ir.nests[0].refs[0].coords[0].offset = 5;
+        assert_eq!(ir.footprint().unwrap(), 6);
+    }
+
+    #[test]
+    fn out_of_bounds_ref_rejected() {
+        let mut ir = cyc(6);
+        ir.nests[0].refs[0].coords[0].offset = 1; // image 1..=6, bound 6
+        assert_eq!(ir.footprint(), Err(IrError::RefOutOfBounds { array: 0 }));
+    }
+
+    #[test]
+    fn sparse_ref_alone_cannot_cover() {
+        // stride-2 coefficient over half the extent touches evens only.
+        let mut ir = cyc(6);
+        ir.nests[0].extents = vec![3];
+        ir.nests[0].refs[0].coords[0].coeffs = vec![2];
+        assert_eq!(ir.footprint(), Err(IrError::NoCoveringRef { array: 0 }));
+    }
+
+    #[test]
+    fn modulo_cover_requires_span() {
+        let mut ir = cyc(8);
+        ir.nests[0].refs[0].coords[0].wrap = Wrap::Modulo;
+        ir.nests[0].refs[0].coords[0].bound = 5;
+        // span 8 ≥ bound 5 → full cover of the 5-element array
+        assert_eq!(ir.footprint().unwrap(), 5);
+    }
+
+    #[test]
+    fn clamped_neighbor_is_contained() {
+        let mut ir = cyc(6);
+        let mut neighbor = ir.nests[0].refs[0].clone();
+        neighbor.coords[0].offset = -1;
+        neighbor.coords[0].wrap = Wrap::Clamp;
+        ir.nests[0].refs.push(neighbor);
+        assert_eq!(ir.footprint().unwrap(), 6);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut ir = cyc(6);
+        let mut other = ir.nests[0].refs[0].clone();
+        other.coords[0].bound = 5;
+        other.coords[0].coeffs = vec![0];
+        ir.nests[0].refs.push(other);
+        assert_eq!(
+            ir.footprint(),
+            Err(IrError::InconsistentArrayShape { array: 0 })
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Structural consistency: the IR-derived accounting must match the
+//! streams `rdx-workloads` actually generates, exactly.
+//!
+//! For every affine kernel across a parameter grid (footprints, seeds,
+//! and truncation points varied), the static model's access count,
+//! store count, and footprint are compared against `TraceStats` of the
+//! real generated stream. The footprint identity requires at least one
+//! full period (a shorter run has not yet touched everything), so the
+//! grid always covers ≥ 1 period while exercising ragged mid-period,
+//! mid-nest, and mid-iteration truncations for the store count.
+
+use proptest::prelude::*;
+use rdx_trace::{Granularity, TraceStats};
+use rdx_workloads::{by_name, Params};
+
+fn assert_consistent(name: &str, elements: u64, seed: u64, periods: u64, ragged: u64) {
+    let probe = Params::default()
+        .with_accesses(1)
+        .with_elements(elements)
+        .with_seed(seed);
+    let shape = rdx_static::estimate(name, &probe).expect(name);
+    let accesses = shape.period * periods + ragged % shape.period.max(1);
+    let params = probe.with_accesses(accesses);
+
+    let profile = rdx_static::estimate(name, &params).expect(name);
+    let spec = by_name(name).expect("affine kernels are registry members");
+    let stats = TraceStats::measure(spec.stream(&params), Granularity::WORD);
+
+    assert_eq!(stats.accesses, accesses, "{name}: stream length");
+    assert_eq!(profile.accesses, accesses, "{name}: modeled length");
+    assert_eq!(
+        profile.stores, stats.stores,
+        "{name}: IR store count must be lane-exact at any truncation"
+    );
+    assert_eq!(
+        profile.footprint, stats.distinct_blocks,
+        "{name}: IR footprint vs distinct blocks of the real stream"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ir_accounting_matches_generated_streams(
+        kernel_idx in 0usize..8,
+        elements in 8u64..512,
+        seed in any::<u64>(),
+        periods in 1u64..3,
+        ragged in any::<u64>(),
+    ) {
+        let name = rdx_static::affine_kernels()[kernel_idx];
+        assert_consistent(name, elements, seed, periods, ragged);
+    }
+}
+
+/// The corners the proptest might miss: minimum footprints, exactly one
+/// period, and the tile-overhang (`n % 8 ≠ 0`) blocked matmul.
+#[test]
+fn pinned_corner_cases() {
+    for name in rdx_static::affine_kernels() {
+        assert_consistent(name, 1, 42, 1, 0); // kernels clamp to minima
+        assert_consistent(name, 257, 7, 2, 12345); // prime footprint
+    }
+    // n = 12: T = 16 > n exercises the modulo-folded tiles
+    assert_consistent("matmul_blocked", 3 * 12 * 12, 3, 1, 99);
+}
+
+/// The static path never constructs a stream: profiles are equal for
+/// different seeds even where the generated streams differ.
+#[test]
+fn estimates_are_seed_independent() {
+    for name in rdx_static::affine_kernels() {
+        let a = rdx_static::estimate(
+            name,
+            &Params::default()
+                .with_accesses(10_000)
+                .with_elements(300)
+                .with_seed(1),
+        )
+        .expect(name);
+        let b = rdx_static::estimate(
+            name,
+            &Params::default()
+                .with_accesses(10_000)
+                .with_elements(300)
+                .with_seed(2),
+        )
+        .expect(name);
+        assert_eq!(a.rd, b.rd, "{name}");
+        assert_eq!(a.stores, b.stores, "{name}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Golden accuracy: static estimates vs. exact Olken ground truth at
+//! small `Params`, under pinned per-kernel thresholds — plus pinned
+//! `NotAffine` rejection for every non-affine registry kernel.
+//!
+//! Two metrics per kernel:
+//!
+//! * **Histogram intersection** between the static and exact RD
+//!   histograms (1.0 = identical log₂-bucket mass placement).
+//! * **Miss-ratio-curve max deviation** over an LRU capacity sweep —
+//!   the quantity `rdx-cache::predict` consumers actually feel.
+//!
+//! Thresholds are measured values minus a small safety margin, not
+//! aspirations: the conversion shares the dynamic sampler's
+//! window-averaging approximation, so kernels whose schedules mix many
+//! interval classes (matmuls, sawtooth) legitimately sit lower than
+//! the single-class cycles (triad, strided, lru_adversary ≈ exact).
+
+use rdx_groundtruth::ExactProfile;
+use rdx_histogram::accuracy::histogram_intersection;
+use rdx_histogram::{Binning, MissRatioCurve, RdHistogram};
+use rdx_trace::Granularity;
+use rdx_workloads::{by_name, Params};
+
+/// Small enough for exact Olken in a test, large enough that every
+/// affine kernel completes at least one full period (largest period:
+/// matmul at n = 32 → 131 072 accesses).
+fn small_params() -> Params {
+    Params::default()
+        .with_accesses(400_000)
+        .with_elements(3 * 32 * 32)
+        .with_seed(42)
+}
+
+/// `(kernel, min histogram intersection, max MRC deviation)`.
+const THRESHOLDS: &[(&str, f64, f64)] = &[
+    ("stream_triad", 0.98, 0.02),   // measured 1.0000 / 0.0000
+    ("strided", 0.98, 0.02),        // measured 1.0000 / 0.0000
+    ("sawtooth", 0.72, 0.28),       // measured 0.7562 / 0.2438 (window averaging)
+    ("matmul_naive", 0.97, 0.02),   // measured 0.9944 / 0.0056
+    ("matmul_blocked", 0.95, 0.03), // measured 0.9851 / 0.0071
+    ("stencil2d", 0.95, 0.18),      // measured 0.9798 / 0.1431 (clamp borders)
+    ("stencil3d", 0.87, 0.08),      // measured 0.9048 / 0.0485
+    ("lru_adversary", 0.98, 0.02),  // measured 1.0000 / 0.0000
+];
+
+fn mrc_max_deviation(a: &RdHistogram, b: &RdHistogram, max_cap: u64) -> f64 {
+    let ma = MissRatioCurve::from_rd_histogram(a);
+    let mb = MissRatioCurve::from_rd_histogram(b);
+    let mut cap = 1u64;
+    let mut worst = 0.0f64;
+    while cap <= max_cap {
+        let d = (ma.miss_ratio(cap) - mb.miss_ratio(cap)).abs();
+        worst = worst.max(d);
+        cap = (cap * 2).max(cap + 1);
+    }
+    worst
+}
+
+#[test]
+fn static_profiles_match_exact_olken() {
+    let p = small_params();
+    let covered: Vec<&str> = THRESHOLDS.iter().map(|&(n, _, _)| n).collect();
+    assert_eq!(
+        covered,
+        rdx_static::affine_kernels(),
+        "every affine kernel pinned"
+    );
+
+    let mut failures = Vec::new();
+    for &(name, min_intersection, max_dev) in THRESHOLDS {
+        let stat = rdx_static::estimate(name, &p).expect(name);
+        let spec = by_name(name).expect(name);
+        let exact = ExactProfile::measure(spec.stream(&p), Granularity::WORD, Binning::log2());
+
+        let acc = histogram_intersection(stat.rd.as_histogram(), exact.rd.as_histogram())
+            .expect("same binning");
+        let dev = mrc_max_deviation(&stat.rd, &exact.rd, 2 * p.elements);
+        eprintln!("{name}: intersection {acc:.4}, mrc deviation {dev:.4}");
+        if acc < min_intersection {
+            failures.push(format!(
+                "{name}: static-vs-exact intersection {acc:.4} below pinned {min_intersection}"
+            ));
+        }
+        if dev > max_dev {
+            failures.push(format!(
+                "{name}: MRC max deviation {dev:.4} above pinned {max_dev}"
+            ));
+        }
+        // Cold mass is exact: one full period touches the whole footprint.
+        if stat.footprint != exact.distinct_blocks {
+            failures.push(format!(
+                "{name}: static footprint {} vs exact distinct blocks {}",
+                stat.footprint, exact.distinct_blocks
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn not_affine_rejection_pinned_for_every_non_affine_kernel() {
+    let expected = [
+        "fifo_queue",
+        "random_uniform",
+        "zipf",
+        "gauss_hotset",
+        "hash_probe",
+        "pointer_chase",
+        "bst_search",
+        "spmv",
+        "sort_merge",
+        "phased",
+    ];
+    assert_eq!(rdx_static::non_affine_kernels(), expected);
+    let p = small_params();
+    for name in expected {
+        match rdx_static::estimate(name, &p) {
+            Err(rdx_static::StaticError::NotAffine { kernel, reason }) => {
+                assert_eq!(kernel, name);
+                assert!(
+                    !reason.is_empty(),
+                    "{name}: reason must explain the rejection"
+                );
+            }
+            other => panic!("{name}: expected NotAffine, got {other:?}"),
+        }
+    }
+}
+
+/// The miss-ratio floor of a static profile equals the cold fraction —
+/// the invariant `rdx-cache::predict` consumers rely on.
+#[test]
+fn predict_integration_uses_static_histograms() {
+    let p = small_params();
+    let stat = rdx_static::estimate("stream_triad", &p).unwrap();
+    let levels = rdx_cache::hierarchy();
+    let preds = rdx_cache::predict::miss_ratios(&stat.rd, &levels, 8);
+    assert_eq!(preds.len(), levels.len());
+    // triad's footprint (3072 words = 24 KiB) fits in L2/LLC: only cold
+    // misses remain there.
+    let cold_fraction = stat.footprint as f64 / stat.accesses as f64;
+    for lvl in &preds {
+        assert!(lvl.miss_ratio >= cold_fraction - 1e-9, "{}", lvl.name);
+    }
+    let llc = &preds[preds.len() - 1];
+    assert!(
+        (llc.miss_ratio - cold_fraction).abs() < 1e-3,
+        "LLC miss ratio {} should approach the cold floor {cold_fraction}",
+        llc.miss_ratio
+    );
+}
