@@ -1,0 +1,389 @@
+//! Fleet aggregation: merge-kernel contrast and tree-reduction scaling.
+//!
+//! **Kernel rates.** A cache-resident tile of dense rows (sized to fit
+//! L1, the shape a freshly decoded shard profile has while it is being
+//! folded) is reduced by each available merge kernel driven directly
+//! through [`rdx_core::merge_kernel`], in leaf-width groups of
+//! [`GROUP`] rows per call — exactly the inner loop of the tree
+//! reduction. Keeping the tile in L1 makes the contrast measure
+//! instruction throughput (the thing the kernels differ in) instead of
+//! the host's L2 bandwidth, which caps every kernel equally. Rates are
+//! histograms/sec; `kernel_speedup` is auto-vs-scalar, an in-process
+//! ratio immune to host speed — the quantity the CI regression gate
+//! checks.
+//!
+//! **Reduction shapes.** A [`FLEET`]-histogram fleet is folded three
+//! ways: chained pairwise [`Histogram::merge`] (the pre-aggregator
+//! baseline), the fixed-shape tree reduction at 1 job, and the tree at
+//! the batch-pool job count. Every timed closure clones the fleet (the
+//! tree consumes its inputs), so the common clone cost understates the
+//! ratios but never favours a shape. Weights are integer-valued, so
+//! every shape must produce the *same bits* — asserted, including an
+//! untimed 4-job run — and the tree's advantage is pure traversal
+//! (multi-source kernel calls + parallel leaves).
+//!
+//! Results land in the `"merge"` section of `BENCH_rdx.json` (path
+//! override `RDX_BENCH_OUT`; other sections preserved). `RDX_REPS`
+//! (default 3) controls the best-of-N timing.
+//!
+//! `--check [--tol <0..1>]` switches to regression-check mode: only the
+//! kernel contrast runs, fresh `kernel_speedup` is compared against the
+//! recorded baseline (`BENCH_rdx.json`, override `RDX_BENCH_BASELINE`;
+//! fail only below recorded × (1 − tol)), and fresh numbers go to
+//! `BENCH_fresh.json` (override `RDX_BENCH_OUT`). `RDX_KERNEL` forces
+//! what "auto" resolves to — CI sets `RDX_KERNEL=scalar` to prove the
+//! gate fails when the wide-add kernels are disabled.
+
+use rdx_bench::{
+    bench_args, bench_out_path, check_metric, json_number, kernel_override, print_table,
+    read_bench_baseline, reps, resolve_tolerance, time_min, update_bench_json_at,
+    update_bench_json_keeping,
+};
+use rdx_core::{
+    default_jobs, merge_histogram_batch, merge_kernel, merge_kernels, resolve_merge, KernelChoice,
+    KernelKind,
+};
+use rdx_histogram::{Binning, Histogram};
+use std::fmt::Write as _;
+
+/// Rows in the kernel-contrast tile. `TILE_ROWS * TILE_BUCKETS`
+/// doubles are ~16 KiB — resident in L1 on anything this runs on.
+const TILE_ROWS: usize = 16;
+/// Buckets per tile row (dense linear binning).
+const TILE_BUCKETS: usize = 128;
+/// Tile reductions per timed repetition (amortizes timer overhead).
+const KERNEL_ITERS: usize = 768;
+/// Source rows per kernel call — the tree reduction's leaf width
+/// (`merge.rs` LEAF), so the measured traversal is the production one.
+const GROUP: usize = 8;
+
+/// Histograms in the reduction-shape fleet.
+const FLEET: usize = 256;
+/// Occupied buckets per fleet histogram.
+const BUCKETS: usize = 256;
+
+/// Deterministic integer-valued bucket weights: exactly representable
+/// in `f64`, and small enough that any sum over the fleet is exact —
+/// so every reduction shape and kernel must agree bit for bit.
+fn dense_rows(seed: u64, rows: usize, buckets: usize) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..rows)
+        .map(|_| (0..buckets).map(|_| (next() % 1000) as f64).collect())
+        .collect()
+}
+
+/// The fleet as real histograms (linear width-1 binning: bucket `j`
+/// covers value `j`), for the reduction-shape contrast.
+fn fleet_histograms(rows: &[Vec<f64>]) -> Vec<Histogram> {
+    rows.iter()
+        .map(|r| Histogram::from_parts(Binning::linear(1), r.clone(), 7.0, BUCKETS as u64))
+        .collect()
+}
+
+/// Histograms/sec for each kernel in `kinds`, reducing the tile in
+/// [`GROUP`]-row calls.
+///
+/// The kernels are timed *interleaved* — one pass of every kernel per
+/// round, best-of over `rounds` — so a burst of host noise lands on
+/// all of them instead of biasing whichever kernel was being timed
+/// when it hit. That keeps the speedup *ratio* stable even when
+/// absolute rates wobble.
+fn kernel_rates(kinds: &[KernelKind], rows: &[Vec<f64>], rounds: u32) -> Vec<f64> {
+    let srcs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    // One destination allocated outside the timing: re-accumulating into
+    // it is the same work per iteration (weights just grow, staying far
+    // from overflow), and a per-iteration malloc+zero would dilute the
+    // kernel contrast.
+    let mut dst = vec![0.0f64; TILE_BUCKETS];
+    let mut best = vec![f64::INFINITY; kinds.len()];
+    for _ in 0..rounds.max(1) {
+        for (slot, &kind) in best.iter_mut().zip(kinds) {
+            let kernel = merge_kernel(kind);
+            let (secs, sink) = time_min(1, || {
+                let mut acc = 0.0f64;
+                for _ in 0..KERNEL_ITERS {
+                    for group in srcs.chunks(GROUP) {
+                        kernel.accumulate(&mut dst, group);
+                    }
+                    acc += dst[TILE_BUCKETS - 1];
+                }
+                acc
+            });
+            assert!(sink.is_finite());
+            *slot = slot.min(secs);
+        }
+    }
+    best.iter()
+        .map(|&secs| (TILE_ROWS * KERNEL_ITERS) as f64 / secs)
+        .collect()
+}
+
+/// One auto-vs-scalar kernel measurement (the `--check` quantity).
+struct KernelBench {
+    auto_name: &'static str,
+    scalar_hps: f64,
+    auto_hps: f64,
+}
+
+impl KernelBench {
+    fn kernel_speedup(&self) -> f64 {
+        self.auto_hps / self.scalar_hps
+    }
+}
+
+fn kernel_bench(rows: &[Vec<f64>], rounds: u32) -> KernelBench {
+    let auto_choice = kernel_override().unwrap_or(KernelChoice::Auto);
+    let auto_kind = resolve_merge(auto_choice);
+    let rates = kernel_rates(&[KernelKind::Scalar, auto_kind], rows, rounds);
+    KernelBench {
+        auto_name: auto_kind.name(),
+        scalar_hps: rates[0],
+        auto_hps: rates[1],
+    }
+}
+
+fn print_kernel_bench(bench: &KernelBench, per_kind: &[(KernelKind, f64)]) {
+    println!(
+        "\nmerge kernels ({TILE_ROWS} rows x {TILE_BUCKETS} buckets in L1, \
+         {GROUP} rows per call, auto resolves to '{}'):",
+        bench.auto_name
+    );
+    print_table(
+        &["kernel", "hist/s", "vs scalar"],
+        &per_kind
+            .iter()
+            .map(|&(kind, hps)| {
+                vec![
+                    kind.name().to_string(),
+                    format!("{hps:.3e}"),
+                    format!("{:.2}x", hps / bench.scalar_hps),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "kernel_speedup (auto vs scalar): {:.2}x",
+        bench.kernel_speedup()
+    );
+}
+
+/// `--check`: rerun only the kernel contrast, gate on the recorded
+/// `kernel_speedup`, and write fresh numbers to a separate artifact.
+fn check_mode(tol_flag: Option<f64>, reps: u32) -> i32 {
+    let baseline = match read_bench_baseline() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("exp_merge --check: cannot read recorded baseline: {e}");
+            return 2;
+        }
+    };
+    let Some(recorded) = json_number(&baseline, &["merge", "kernel_speedup"]) else {
+        eprintln!(
+            "exp_merge --check: baseline has no merge.kernel_speedup \
+             (run exp_merge once without --check to record it)"
+        );
+        return 2;
+    };
+    let tol = resolve_tolerance(tol_flag, &baseline, "merge");
+    let rows = dense_rows(0x5eed, TILE_ROWS, TILE_BUCKETS);
+    let bench = kernel_bench(&rows, reps);
+    let per_kind = vec![
+        (KernelKind::Scalar, bench.scalar_hps),
+        (
+            resolve_merge(kernel_override().unwrap_or(KernelChoice::Auto)),
+            bench.auto_hps,
+        ),
+    ];
+    print_kernel_bench(&bench, &per_kind);
+    let ok = check_metric(
+        "merge.kernel_speedup",
+        bench.kernel_speedup(),
+        recorded,
+        tol,
+    );
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "    \"check_tolerance\": {tol:.3},");
+    let _ = writeln!(body, "    \"check_passed\": {ok},");
+    let _ = writeln!(body, "    \"kernel\": \"{}\",", bench.auto_name);
+    let _ = writeln!(
+        body,
+        "    \"kernel_scalar_hists_per_sec\": {:.1},",
+        bench.scalar_hps
+    );
+    let _ = writeln!(body, "    \"kernel_hists_per_sec\": {:.1},", bench.auto_hps);
+    let _ = writeln!(
+        body,
+        "    \"kernel_speedup\": {:.3}",
+        bench.kernel_speedup()
+    );
+    let _ = write!(body, "  }}");
+    let out = update_bench_json_at(&bench_out_path("BENCH_fresh.json"), "merge", &body)
+        .unwrap_or_else(|e| panic!("writing fresh check numbers: {e}"));
+    println!("wrote {out} (section \"merge\", check mode)");
+    i32::from(!ok)
+}
+
+fn main() {
+    let args = bench_args().unwrap_or_else(|e| {
+        eprintln!("exp_merge: {e}");
+        std::process::exit(2);
+    });
+    let reps = reps();
+    if args.check {
+        std::process::exit(check_mode(args.tol, reps));
+    }
+    println!(
+        "Fleet aggregation: merge kernels ({TILE_ROWS}x{TILE_BUCKETS} tile) and \
+         tree reduction ({FLEET} histograms x {BUCKETS} buckets), best of {reps}"
+    );
+
+    let tile = dense_rows(0x5eed, TILE_ROWS, TILE_BUCKETS);
+    let hists = fleet_histograms(&dense_rows(0xf1ee7, FLEET, BUCKETS));
+
+    // Every available kernel, head to head on the same tile, timed
+    // interleaved so host noise cannot bias one kernel's rounds.
+    let kinds: Vec<KernelKind> = merge_kernels()
+        .iter()
+        .filter(|e| e.available)
+        .map(|e| e.kind)
+        .collect();
+    let rates = kernel_rates(&kinds, &tile, reps);
+    let per_kind: Vec<(KernelKind, f64)> = kinds.iter().copied().zip(rates).collect();
+    let auto_choice = kernel_override().unwrap_or(KernelChoice::Auto);
+    let auto_kind = resolve_merge(auto_choice);
+    let scalar_hps = per_kind
+        .iter()
+        .find(|&&(k, _)| k == KernelKind::Scalar)
+        .map_or(0.0, |&(_, h)| h);
+    let auto_hps = per_kind
+        .iter()
+        .find(|&&(k, _)| k == auto_kind)
+        .map_or(scalar_hps, |&(_, h)| h);
+    let bench = KernelBench {
+        auto_name: auto_kind.name(),
+        scalar_hps,
+        auto_hps,
+    };
+    print_kernel_bench(&bench, &per_kind);
+
+    // Reduction shapes: chained pairwise merges vs the fixed-shape tree
+    // at 1 job and at the batch-pool width. The tree consumes its
+    // inputs, so every closure pays the same fleet clone. Integer
+    // weights make every shape exact, so all results must carry
+    // identical bits.
+    let jobs = default_jobs();
+    let (seq_s, want) = time_min(reps, || {
+        let mut fleet = hists.clone();
+        let (acc, rest) = fleet.split_first_mut().expect("non-empty fleet");
+        for h in rest {
+            acc.merge(h).expect("one shared binning");
+        }
+        acc.clone()
+    });
+    let tree = |jobs: usize| {
+        time_min(reps, || {
+            merge_histogram_batch(hists.clone(), jobs, auto_choice)
+                .expect("one shared binning")
+                .expect("non-empty fleet")
+        })
+    };
+    let (tree1_s, tree1) = tree(1);
+    let (treej_s, treej) = tree(jobs);
+    assert_eq!(tree1, want, "tree(1 job) deviates from chained merges");
+    assert_eq!(
+        treej, want,
+        "tree({jobs} jobs) deviates from chained merges"
+    );
+    let wide = merge_histogram_batch(hists.clone(), 4, auto_choice)
+        .expect("one shared binning")
+        .expect("non-empty fleet");
+    assert_eq!(wide, want, "tree(4 jobs) deviates from chained merges");
+    let (seq_hps, tree1_hps, treej_hps) = (
+        FLEET as f64 / seq_s,
+        FLEET as f64 / tree1_s,
+        FLEET as f64 / treej_s,
+    );
+    println!("\nreduction shapes (results verified bit-identical, incl. 4 jobs):");
+    print_table(
+        &["reduction", "hist/s", "vs chained"],
+        &[
+            vec![
+                "chained pairwise".into(),
+                format!("{seq_hps:.3e}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "tree, 1 job".into(),
+                format!("{tree1_hps:.3e}"),
+                format!("{:.2}x", tree1_hps / seq_hps),
+            ],
+            vec![
+                format!("tree, {jobs} jobs"),
+                format!("{treej_hps:.3e}"),
+                format!("{:.2}x", treej_hps / seq_hps),
+            ],
+        ],
+    );
+
+    // A hand-tuned check_tolerance in the recorded file survives
+    // re-runs; the gate falls back to its default when absent.
+    let out = update_bench_json_keeping(
+        "merge",
+        &render_section(&bench, &per_kind, jobs, (seq_hps, tree1_hps, treej_hps)),
+        &["check_tolerance"],
+    )
+    .unwrap_or_else(|e| panic!("writing benchmark results: {e}"));
+    println!("wrote {out} (section \"merge\")");
+}
+
+/// Hand-rolled JSON for the `"merge"` section (no JSON crate in the
+/// workspace); every value is a finite number or a kernel identifier.
+fn render_section(
+    bench: &KernelBench,
+    per_kind: &[(KernelKind, f64)],
+    jobs: usize,
+    (seq_hps, tree1_hps, treej_hps): (f64, f64, f64),
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "    \"tile_rows\": {TILE_ROWS},");
+    let _ = writeln!(s, "    \"tile_buckets\": {TILE_BUCKETS},");
+    let _ = writeln!(s, "    \"fleet_histograms\": {FLEET},");
+    let _ = writeln!(s, "    \"fleet_buckets\": {BUCKETS},");
+    let _ = writeln!(s, "    \"kernel\": \"{}\",", bench.auto_name);
+    let _ = writeln!(
+        s,
+        "    \"kernel_scalar_hists_per_sec\": {:.1},",
+        bench.scalar_hps
+    );
+    let _ = writeln!(s, "    \"kernel_hists_per_sec\": {:.1},", bench.auto_hps);
+    let _ = writeln!(s, "    \"kernel_speedup\": {:.3},", bench.kernel_speedup());
+    let _ = writeln!(s, "    \"kernels\": [");
+    for (i, &(kind, hps)) in per_kind.iter().enumerate() {
+        let comma = if i + 1 == per_kind.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      {{\"kind\": \"{}\", \"hists_per_sec\": {hps:.1}, \
+             \"vs_scalar\": {:.3}}}{comma}",
+            kind.name(),
+            hps / bench.scalar_hps
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"reduction\": {{");
+    let _ = writeln!(s, "      \"jobs\": {jobs},");
+    let _ = writeln!(s, "      \"chained_hists_per_sec\": {seq_hps:.1},");
+    let _ = writeln!(s, "      \"tree_1job_hists_per_sec\": {tree1_hps:.1},");
+    let _ = writeln!(s, "      \"tree_jobs_hists_per_sec\": {treej_hps:.1},");
+    let _ = writeln!(s, "      \"tree_speedup\": {:.3}", treej_hps / seq_hps);
+    let _ = writeln!(s, "    }}");
+    let _ = write!(s, "  }}");
+    s
+}

@@ -4,20 +4,23 @@
 //! rdx list
 //! rdx profile <workload|file.rdxt> [--accesses N] [--elements N]
 //!             [--period N] [--seed N] [--registers N] [--jobs N]
-//!             [--exact] [--mrc] [--csv] [--metrics]
+//!             [--exact] [--mrc] [--csv] [--metrics] [--save file.rdxp]
 //!             [--pipelined|--no-pipelined] [--decode-buffer N]
 //!             [--decode-ahead N] [--kernel auto|scalar|swar|simd]
 //! rdx suite [file.rdxt ...] [--accesses N] [--elements N] [--period N]
 //!           [--seed N] [--jobs N] [--csv] [--metrics]
+//!           [--merge] [--out file.rdxp]
 //!           [--pipelined|--no-pipelined] [--decode-buffer N]
 //!           [--decode-ahead N] [--kernel auto|scalar|swar|simd]
+//! rdx merge <file.rdxp ...> [--out file.rdxp] [--jobs N]
+//!           [--kernel auto|scalar|swar|simd] [--csv] [--mrc]
 //! rdx trace <file> [--decode-buffer N] [--kernel auto|scalar|swar|simd]
 //!           [--metrics]
 //! rdx serve --listen <addr|socket-path> [--max-conns N]
 //!           [--max-session-bytes N]
 //! rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N]
 //!            [--elements N] [--period N] [--seed N] [--registers N]
-//!            [--chunk-bytes N] [--crosscheck] [--metrics]
+//!            [--chunk-bytes N] [--aggregate N] [--crosscheck] [--metrics]
 //!            [--pipelined|--no-pipelined] [--decode-buffer N]
 //!            [--decode-ahead N]
 //! rdx sim [--seed N] [--schedules N] [--faults LIST]
@@ -32,6 +35,15 @@
 //! (`--no-pipelined` decodes in bulk on the profiling thread;
 //! `--decode-buffer`/`--decode-ahead` size the chunk and the buffer
 //! ring).
+//!
+//! Profiles are a merge monoid: `profile --save` writes a profile in
+//! the versioned RDXP wire format, `merge` folds RDXP files from disk
+//! into one fleet profile (parallel tree reduction over `--jobs`
+//! threads; bit-identical for every job count and `--kernel`), and
+//! `suite --merge` appends the whole registry's fleet profile — `--out`
+//! writes it as RDXP for a later `rdx merge`. Incompatible inputs
+//! (version, binning, granularity, or cost-model mismatches) are typed
+//! errors naming both sides, never panics.
 //!
 //! `--kernel` forces the hot-loop kernels — the machine fast path's
 //! needle scanner and the trace layer's bulk varint decoder — to one
@@ -98,17 +110,21 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rdx list\n  rdx profile <workload|file.rdxt> [--accesses N] \
          [--elements N] [--period N]\n              [--seed N] [--registers N] [--jobs N] \
-         [--exact] [--mrc] [--csv] [--metrics]\n              [--pipelined|--no-pipelined] \
+         [--exact] [--mrc] [--csv] [--metrics]\n              [--save file.rdxp] \
+         [--pipelined|--no-pipelined]\n              \
          [--decode-buffer N] [--decode-ahead N]\n              \
          [--kernel auto|scalar|swar|simd]\n  rdx suite [file.rdxt ...] [--accesses N] \
          [--elements N] [--period N] [--seed N]\n            [--jobs N] [--csv] [--metrics] \
-         [--pipelined|--no-pipelined]\n            [--decode-buffer N] [--decode-ahead N] \
+         [--merge] [--out file.rdxp]\n            [--pipelined|--no-pipelined]\n            \
+         [--decode-buffer N] [--decode-ahead N] \
          [--kernel auto|scalar|swar|simd]\n  \
+         rdx merge <file.rdxp ...> [--out file.rdxp] [--jobs N]\n            \
+         [--kernel auto|scalar|swar|simd] [--csv] [--mrc]\n  \
          rdx trace <file> [--decode-buffer N] [--kernel auto|scalar|swar|simd] [--metrics]\n  \
          rdx serve --listen <addr|socket-path> [--max-conns N] [--max-session-bytes N]\n  \
          rdx client <addr|socket-path> <workload|file.rdxt> [--accesses N] [--elements N]\n             \
          [--period N] [--seed N] [--registers N] [--chunk-bytes N]\n             \
-         [--crosscheck] [--metrics] [--pipelined|--no-pipelined]\n             \
+         [--aggregate N] [--crosscheck] [--metrics] [--pipelined|--no-pipelined]\n             \
          [--decode-buffer N] [--decode-ahead N]\n  \
          rdx sim [--seed N] [--schedules N] [--faults LIST]\n  \
          rdx static <kernel> [--accesses N] [--elements N] [--seed N]\n             \
@@ -129,6 +145,7 @@ fn main() -> ExitCode {
         }
         Some("profile") => profile(&args[1..]),
         Some("suite") => suite_cmd(&args[1..]),
+        Some("merge") => merge_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
@@ -150,7 +167,10 @@ struct Opts {
     decode_buffer: Option<u64>,
     decode_ahead: Option<u64>,
     chunk_bytes: Option<u64>,
+    aggregate: Option<u64>,
     kernel: Option<KernelChoice>,
+    save: Option<String>,
+    out: Option<String>,
     exact: bool,
     mrc: bool,
     csv: bool,
@@ -158,6 +178,7 @@ struct Opts {
     pipelined: bool,
     no_pipelined: bool,
     crosscheck: bool,
+    merge: bool,
 }
 
 impl Opts {
@@ -174,7 +195,7 @@ impl Opts {
             }
             match flag {
                 "--exact" | "--mrc" | "--csv" | "--metrics" | "--pipelined" | "--no-pipelined"
-                | "--crosscheck" => {
+                | "--crosscheck" | "--merge" => {
                     let slot = match flag {
                         "--exact" => &mut opts.exact,
                         "--mrc" => &mut opts.mrc,
@@ -182,12 +203,25 @@ impl Opts {
                         "--pipelined" => &mut opts.pipelined,
                         "--no-pipelined" => &mut opts.no_pipelined,
                         "--crosscheck" => &mut opts.crosscheck,
+                        "--merge" => &mut opts.merge,
                         _ => &mut opts.csv,
                     };
                     if *slot {
                         return Err(format!("duplicate flag '{flag}'"));
                     }
                     *slot = true;
+                }
+                "--save" | "--out" => {
+                    let slot = if flag == "--save" {
+                        &mut opts.save
+                    } else {
+                        &mut opts.out
+                    };
+                    if slot.is_some() {
+                        return Err(format!("duplicate flag '{flag}'"));
+                    }
+                    let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                    *slot = Some(value.clone());
                 }
                 "--kernel" => {
                     if opts.kernel.is_some() {
@@ -209,6 +243,7 @@ impl Opts {
                         "--decode-buffer" => &mut opts.decode_buffer,
                         "--decode-ahead" => &mut opts.decode_ahead,
                         "--chunk-bytes" => &mut opts.chunk_bytes,
+                        "--aggregate" => &mut opts.aggregate,
                         _ => unreachable!("allowed flags are handled above"),
                     };
                     if slot.is_some() {
@@ -263,6 +298,11 @@ impl Opts {
         }
         if self.chunk_bytes == Some(0) {
             return Err("--chunk-bytes must be at least 1 (got 0)".to_string());
+        }
+        if let Some(v) = self.aggregate {
+            if !(1..=64).contains(&v) {
+                return Err(format!("--aggregate must be between 1 and 64 (got {v})"));
+            }
         }
         Ok(())
     }
@@ -349,6 +389,7 @@ const PROFILE_FLAGS: &[&str] = &[
     "--mrc",
     "--csv",
     "--metrics",
+    "--save",
     "--pipelined",
     "--no-pipelined",
 ];
@@ -364,9 +405,13 @@ const SUITE_FLAGS: &[&str] = &[
     "--kernel",
     "--csv",
     "--metrics",
+    "--merge",
+    "--out",
     "--pipelined",
     "--no-pipelined",
 ];
+
+const MERGE_FLAGS: &[&str] = &["--out", "--jobs", "--kernel", "--csv", "--mrc"];
 
 const TRACE_FLAGS: &[&str] = &["--decode-buffer", "--kernel", "--metrics"];
 
@@ -387,6 +432,7 @@ const CLIENT_FLAGS: &[&str] = &[
     "--period",
     "--registers",
     "--chunk-bytes",
+    "--aggregate",
     "--decode-buffer",
     "--decode-ahead",
     "--crosscheck",
@@ -478,6 +524,12 @@ fn profile_workload(workload: &WorkloadSpec, opts: &Opts) -> ExitCode {
         print_histogram(exact.rd.as_histogram(), csv);
         println!("\naccuracy vs ground truth: {:.1}%", acc * 100.0);
     }
+    if let Some(path) = &opts.save {
+        let code = save_profile(path, &profile);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
     if opts.metrics {
         return emit_metrics_report(&[(workload.name.to_string(), profile)]);
     }
@@ -543,6 +595,12 @@ fn profile_file(path: &str, opts: &Opts) -> ExitCode {
         );
         code = ExitCode::FAILURE;
     }
+    if let Some(save) = &opts.save {
+        let save_code = save_profile(save, &profile);
+        if code == ExitCode::SUCCESS {
+            code = save_code;
+        }
+    }
     if opts.metrics {
         let metrics_code = emit_metrics_report(&[(label, profile)]);
         if code == ExitCode::SUCCESS {
@@ -576,6 +634,10 @@ fn suite_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.out.is_some() && !opts.merge {
+        eprintln!("error: --out requires --merge (it writes the merged fleet profile)");
+        return ExitCode::FAILURE;
+    }
     if !files.is_empty() {
         return suite_files(files, &opts);
     }
@@ -638,15 +700,22 @@ fn suite_cmd(args: &[String]) -> ExitCode {
         let total: u64 = profiles.iter().map(|p: &RdxProfile| p.accesses).sum();
         println!("\ntotal accesses profiled: {total}");
     }
+    let mut code = ExitCode::SUCCESS;
+    if opts.merge {
+        code = emit_fleet(profiles.clone(), profiles.len(), &opts);
+    }
     if opts.metrics {
         let rows: Vec<(String, RdxProfile)> = suite()
             .iter()
             .map(|w| w.name.to_string())
             .zip(profiles)
             .collect();
-        return emit_metrics_report(&rows);
+        let metrics_code = emit_metrics_report(&rows);
+        if code == ExitCode::SUCCESS {
+            code = metrics_code;
+        }
     }
-    ExitCode::SUCCESS
+    code
 }
 
 /// Profiles a set of RDXT trace files in parallel, one summary row per
@@ -752,6 +821,14 @@ fn suite_files(files: &[String], opts: &Opts) -> ExitCode {
         );
         code = ExitCode::FAILURE;
     }
+    if opts.merge {
+        let fleet: Vec<RdxProfile> = reports.iter().map(|r| r.profile.clone()).collect();
+        let n = fleet.len();
+        let merge_code = emit_fleet(fleet, n, opts);
+        if code == ExitCode::SUCCESS {
+            code = merge_code;
+        }
+    }
     if opts.metrics {
         let rows: Vec<(String, RdxProfile)> =
             reports.into_iter().map(|r| (r.label, r.profile)).collect();
@@ -761,6 +838,112 @@ fn suite_files(files: &[String], opts: &Opts) -> ExitCode {
         }
     }
     code
+}
+
+/// Writes a profile to `path` in the versioned RDXP wire format.
+fn save_profile(path: &str, profile: &RdxProfile) -> ExitCode {
+    let bytes = rdx_core::encode_profile(profile);
+    match std::fs::write(path, &bytes) {
+        Ok(()) => {
+            println!(
+                "saved profile   : {path} ({} B, RDXP v{})",
+                bytes.len(),
+                rdx_core::RDXP_VERSION
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write '{path}': {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Merges a batch of profiles into one fleet profile and prints it
+/// (used by both `rdx merge` and `rdx suite --merge`). The reduction is
+/// a deterministic tree over `--jobs` threads — the output is
+/// bit-identical for every job count and kernel choice.
+fn emit_fleet(profiles: Vec<RdxProfile>, sources: usize, opts: &Opts) -> ExitCode {
+    let jobs = opts.jobs();
+    let merged =
+        match rdx_core::merge_batch_with(profiles, jobs, opts.kernel.unwrap_or(KernelChoice::Auto))
+        {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                eprintln!("error: nothing to merge");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: profiles are not mergeable: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if !opts.csv {
+        println!("\nfleet profile   : {sources} profiles merged ({jobs} jobs)");
+        println!("accesses        : {}", merged.accesses);
+        println!("samples/traps   : {} / {}", merged.samples, merged.traps);
+        println!("est. blocks     : {:.0}", merged.m_estimate);
+        println!("time overhead   : {:.2}%", merged.time_overhead * 100.0);
+        println!("\nmerged reuse-distance histogram (weights normalized):");
+    }
+    print_histogram(merged.rd.as_histogram(), opts.csv);
+    if opts.mrc {
+        print_mrc(&merged);
+    }
+    match &opts.out {
+        Some(path) => save_profile(path, &merged),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// Merges serialized RDXP profiles from disk into one fleet profile.
+/// Decode failures (bad magic, version mismatch, truncation) and merge
+/// incompatibilities (binning, granularity, cost model) are typed,
+/// per-file errors — never panics.
+fn merge_cmd(args: &[String]) -> ExitCode {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (files, flag_args) = args.split_at(split);
+    if files.is_empty() {
+        eprintln!("error: merge needs at least one RDXP profile file");
+        return usage();
+    }
+    let opts = match Opts::parse(flag_args, MERGE_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut profiles = Vec::with_capacity(files.len());
+    for path in files {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match rdx_core::decode_profile(&bytes) {
+            Ok(p) => profiles.push(p),
+            Err(e) => {
+                eprintln!("error: '{path}' is not a loadable RDXP profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !opts.csv {
+        println!("merging {} profile(s):", files.len());
+        for (path, p) in files.iter().zip(&profiles) {
+            println!(
+                "  {path}: {} accesses, {} samples, {} traps",
+                p.accesses, p.samples, p.traps
+            );
+        }
+    }
+    emit_fleet(profiles, files.len(), &opts)
 }
 
 /// Counter names whose registry totals must equal the summed profile
@@ -1163,6 +1346,28 @@ fn client_cmd(args: &[String]) -> ExitCode {
     let chunk_bytes = usize::try_from(opts.chunk_bytes.unwrap_or(64 << 10)).unwrap_or(usize::MAX);
 
     let listen = rdx_server::Listen::parse(addr);
+    if let Some(n) = opts.aggregate {
+        for (flag, given) in [
+            ("--crosscheck", opts.crosscheck),
+            ("--metrics", opts.metrics),
+        ] {
+            if given {
+                eprintln!(
+                    "error: {flag} does not apply to --aggregate mode \
+                     (it always crosschecks the server fold bit for bit)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        return match client_aggregate(&listen, &label, &bytes, sopts, chunk_bytes, n) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let served = (|| -> Result<_, rdx_server::ClientError> {
         let mut client = rdx_server::Client::connect(&listen)?;
         let session = client.open_session(&label, sopts)?;
@@ -1243,6 +1448,56 @@ fn client_cmd(args: &[String]) -> ExitCode {
         }
     }
     code
+}
+
+/// `rdx client … --aggregate N`: stream the same bytes into `n`
+/// sessions, ask the server to fold them with one `SnapshotAggregate`
+/// request, and crosscheck the reply bit for bit against a client-side
+/// fold of the per-session snapshots in the same session order — the
+/// reply contract says the two must be identical. Returns whether the
+/// crosscheck passed.
+fn client_aggregate(
+    listen: &rdx_server::Listen,
+    label: &str,
+    bytes: &[u8],
+    sopts: rdx_server::SessionOptions,
+    chunk_bytes: usize,
+    n: u64,
+) -> Result<bool, rdx_server::ClientError> {
+    let mut client = rdx_server::Client::connect(listen)?;
+    let mut sessions = Vec::new();
+    for i in 0..n {
+        let session = client.open_session(&format!("{label}#{i}"), sopts)?;
+        for chunk in bytes.chunks(chunk_bytes) {
+            client.send_chunk(session, chunk)?;
+        }
+        client.flush(session)?;
+        sessions.push(session);
+    }
+    let mut expected = rdx_server::ProfileSnapshot::default();
+    for &s in &sessions {
+        expected.merge(&client.snapshot_histogram(s)?);
+    }
+    let reply = client.snapshot_aggregate(&sessions)?;
+    for &s in &sessions {
+        client.close_session(s)?;
+    }
+    let mut digest = rdx_server::Fnv64::new();
+    reply.profile.fold_into(&mut digest);
+    println!("sessions        : {} x {label}", reply.sessions);
+    println!("accesses        : {}", reply.profile.accesses);
+    println!(
+        "samples/traps   : {} / {}",
+        reply.profile.samples, reply.profile.traps
+    );
+    println!("aggregate digest: {:#018x}", digest.value());
+    let ok = reply.sessions == u32::try_from(n).unwrap_or(u32::MAX) && reply.profile == expected;
+    if ok {
+        println!("crosscheck      : PASS (server fold matches client-side fold)");
+    } else {
+        eprintln!("error: aggregate crosscheck FAILED — server fold differs from client-side fold");
+    }
+    Ok(ok)
 }
 
 /// Parsed `rdx sim` options (its flags don't overlap the profiling
@@ -2007,6 +2262,144 @@ mod tests {
                 assert_eq!(snap.counter(name).unwrap_or(0), 0, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn save_out_and_merge_flags_parse() {
+        let opts = Opts::parse(&to_args(&["--save", "p.rdxp"]), PROFILE_FLAGS).unwrap();
+        assert_eq!(opts.save.as_deref(), Some("p.rdxp"));
+        let err = Opts::parse(&to_args(&["--save"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err =
+            Opts::parse(&to_args(&["--save", "a", "--save", "b"]), PROFILE_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate flag '--save'"), "{err}");
+
+        let opts = Opts::parse(&to_args(&["--merge", "--out", "fleet.rdxp"]), SUITE_FLAGS).unwrap();
+        assert!(opts.merge);
+        assert_eq!(opts.out.as_deref(), Some("fleet.rdxp"));
+
+        // merge takes only aggregation flags; profiling knobs are rejected.
+        for args in [&["--period", "512"][..], &["--save", "x"][..]] {
+            let err = Opts::parse(&to_args(args), MERGE_FLAGS).unwrap_err();
+            assert!(err.contains("unknown flag"), "{args:?}: {err}");
+        }
+        let opts = Opts::parse(
+            &to_args(&["--out", "f", "--jobs", "2", "--kernel", "swar"]),
+            MERGE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(opts.out.as_deref(), Some("f"));
+        assert_eq!(opts.kernel, Some(KernelChoice::Swar));
+    }
+
+    #[test]
+    fn profile_save_then_merge_round_trips() {
+        let _guard = metrics_guard();
+        let shard_a = temp_path("shard-a.rdxp").display().to_string();
+        let shard_b = temp_path("shard-b.rdxp").display().to_string();
+        let fleet = temp_path("fleet.rdxp").display().to_string();
+        for (path, seed) in [(&shard_a, "3"), (&shard_b, "4")] {
+            let code = profile(&to_args(&[
+                "zipf",
+                "--accesses",
+                "20000",
+                "--elements",
+                "400",
+                "--period",
+                "512",
+                "--seed",
+                seed,
+                "--csv",
+                "--save",
+                path,
+            ]));
+            assert_eq!(code, ExitCode::SUCCESS);
+        }
+        let code = merge_cmd(&to_args(&[
+            &shard_a, &shard_b, "--csv", "--jobs", "2", "--out", &fleet,
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        // The written fleet profile is exactly merge_batch of the parts.
+        let a = rdx_core::decode_profile(&std::fs::read(&shard_a).unwrap()).unwrap();
+        let b = rdx_core::decode_profile(&std::fs::read(&shard_b).unwrap()).unwrap();
+        let merged = rdx_core::decode_profile(&std::fs::read(&fleet).unwrap()).unwrap();
+        let direct = rdx_core::merge_batch(vec![a.clone(), b.clone()], 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(merged, direct);
+        assert_eq!(merged.accesses, a.accesses + b.accesses);
+
+        for p in [shard_a, shard_b, fleet] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_cmd_reports_typed_errors() {
+        let _guard = metrics_guard();
+        // No inputs at all.
+        assert_eq!(merge_cmd(&to_args(&["--csv"])), ExitCode::FAILURE);
+        // Missing file.
+        assert_eq!(
+            merge_cmd(&to_args(&["/no/such/profile.rdxp"])),
+            ExitCode::FAILURE
+        );
+        // Not an RDXP payload: recoverable decode error, not a panic.
+        let junk = temp_path("junk.rdxp");
+        std::fs::write(&junk, b"definitely not a profile").unwrap();
+        assert_eq!(merge_cmd(&[junk.display().to_string()]), ExitCode::FAILURE);
+
+        // Two structurally valid profiles with different binnings: the
+        // merge itself fails with a typed incompatibility.
+        let good = temp_path("good.rdxp");
+        let odd = temp_path("odd.rdxp");
+        let params = rdx_workloads::Params::default()
+            .with_accesses(5_000)
+            .with_elements(100);
+        let p = RdxRunner::new(RdxConfig::default().with_period(512))
+            .profile(by_name("zipf").unwrap().stream(&params));
+        std::fs::write(&good, rdx_core::encode_profile(&p)).unwrap();
+        let mut q = p.clone();
+        q.rd = rdx_histogram::RdHistogram::new(Binning::linear(64));
+        std::fs::write(&odd, rdx_core::encode_profile(&q)).unwrap();
+        assert_eq!(
+            merge_cmd(&to_args(&[
+                &good.display().to_string(),
+                &odd.display().to_string(),
+                "--csv",
+            ])),
+            ExitCode::FAILURE
+        );
+        for p in [junk, good, odd] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn suite_merge_emits_one_fleet_profile() {
+        let _guard = metrics_guard();
+        let fleet = temp_path("suite-fleet.rdxp").display().to_string();
+        let code = suite_cmd(&to_args(&[
+            "--accesses",
+            "4000",
+            "--elements",
+            "200",
+            "--period",
+            "512",
+            "--csv",
+            "--merge",
+            "--out",
+            &fleet,
+        ]));
+        assert_eq!(code, ExitCode::SUCCESS);
+        let merged = rdx_core::decode_profile(&std::fs::read(&fleet).unwrap()).unwrap();
+        // One fleet profile covering every registry workload's accesses.
+        assert_eq!(merged.accesses, 4000 * suite().len() as u64);
+        let _ = std::fs::remove_file(fleet);
+
+        // --out without --merge is a flag error.
+        assert_eq!(suite_cmd(&to_args(&["--out", "x.rdxp"])), ExitCode::FAILURE);
     }
 
     #[test]

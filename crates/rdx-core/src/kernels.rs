@@ -1,0 +1,330 @@
+//! Merge kernels: interchangeable inner loops for bulk histogram
+//! accumulation, behind one trait and a capability/cost table.
+//!
+//! Fleet aggregation ([`merge_batch`](crate::merge_batch)) reduces many
+//! histograms into one, and its hot loop is bucket-wise `f64` addition
+//! across a structure-of-arrays batch: one destination row plus many
+//! equal-width source rows. The per-bucket accumulation is delegated to
+//! a [`MergeKernel`] resolved once per reduction, using the same
+//! [`KernelKind`] taxonomy as the decode (`rdx_trace::kernels`) and
+//! scan (`memsim::kernels`) sides:
+//!
+//! * **scalar** — one pairwise pass over the destination per source
+//!   row, exactly what chained [`Histogram::merge`]
+//!   (rdx_histogram::Histogram::merge) calls would do. It is the
+//!   oracle: every other kernel must produce bit-identical buckets on
+//!   every input, which the equivalence tests below and the monoid
+//!   proptests in `tests/merge_monoid.rs` enforce.
+//! * **swar** — blockwise accumulation: eight buckets at a time held in
+//!   a lane array that stays in registers across *all* source rows, so
+//!   the destination is written once per block instead of once per
+//!   source — straight-line code LLVM autovectorizes.
+//! * **simd** — AVX2 on x86_64 (runtime-detected): 32 buckets per
+//!   block as eight 4-lane `_mm256_add_pd` accumulators, again kept in
+//!   registers across all sources. Confined to this module and guarded
+//!   by `is_x86_feature_detected!`; other architectures mark the row
+//!   unavailable and resolve to SWAR.
+//!
+//! **Bit-identity contract.** For each bucket `j` every kernel computes
+//! `((dst[j] + srcs[0][j]) + srcs[1][j]) + …` in source order — only
+//! the *traversal* differs, never the per-bucket operation sequence —
+//! so kernel choice can never change a merged profile.
+//!
+//! The capability/cost table idiom ([`merge_kernels`], `auto` picking
+//! the cheapest available row) mirrors the other two kernel sites.
+
+#![allow(unsafe_code)]
+
+pub use rdx_trace::{KernelChoice, KernelEntry, KernelKind};
+
+/// Buckets accumulated per block in the SWAR kernel.
+const LANES: usize = 8;
+
+/// One interchangeable inner loop of the bulk histogram accumulator.
+///
+/// `dst` and every row of `srcs` must have the same width (callers
+/// zero-pad ragged histograms first); implementations must be exactly
+/// equivalent to the scalar oracle [`ScalarMerge`] — same bits in every
+/// bucket — for every input.
+pub trait MergeKernel {
+    /// Which kernel family this is.
+    fn kind(&self) -> KernelKind;
+
+    /// Adds every source row into `dst`, bucket-wise, in source order.
+    fn accumulate(&self, dst: &mut [f64], srcs: &[&[f64]]);
+}
+
+/// The pairwise pass — what chained `Histogram::merge` calls do —
+/// retained as the oracle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarMerge;
+
+impl MergeKernel for ScalarMerge {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Scalar
+    }
+
+    fn accumulate(&self, dst: &mut [f64], srcs: &[&[f64]]) {
+        for src in srcs {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += *s;
+            }
+        }
+    }
+}
+
+/// The portable blockwise kernel: eight-bucket lane arrays that stay
+/// resident across all source rows, so each destination block is
+/// loaded and stored once per reduction instead of once per source.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SwarMerge;
+
+impl MergeKernel for SwarMerge {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Swar
+    }
+
+    fn accumulate(&self, dst: &mut [f64], srcs: &[&[f64]]) {
+        let width = dst.len();
+        if srcs.iter().any(|s| s.len() != width) {
+            // Ragged input violates the documented contract; take the
+            // oracle's zip path (which truncates) instead of indexing
+            // out of bounds on the hot path.
+            return ScalarMerge.accumulate(dst, srcs);
+        }
+        let mut pos = 0;
+        while pos + LANES <= width {
+            let mut acc = [0.0f64; LANES];
+            acc.copy_from_slice(&dst[pos..pos + LANES]);
+            for src in srcs {
+                for (a, s) in acc.iter_mut().zip(&src[pos..pos + LANES]) {
+                    *a += *s;
+                }
+            }
+            dst[pos..pos + LANES].copy_from_slice(&acc);
+            pos += LANES;
+        }
+        // Tail (< 8 buckets): per-bucket accumulation, same add order.
+        for (j, d) in dst.iter_mut().enumerate().skip(pos) {
+            for src in srcs {
+                *d += src[j];
+            }
+        }
+    }
+}
+
+/// The x86_64 AVX2 kernel: 32 buckets per block as eight 4-lane vector
+/// accumulators.
+///
+/// Only constructed when `is_x86_feature_detected!("avx2")` holds (and
+/// [`MergeKernel::accumulate`] re-checks, so a mis-forced kind degrades
+/// to the portable kernel instead of executing illegal instructions).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimdMerge;
+
+impl MergeKernel for SimdMerge {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Simd
+    }
+
+    fn accumulate(&self, dst: &mut [f64], srcs: &[&[f64]]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && srcs.iter().all(|s| s.len() == dst.len())
+        {
+            // SAFETY: AVX2 support was just verified on this CPU, and
+            // every source row matches the destination width.
+            unsafe { avx2::accumulate(dst, srcs) };
+            return;
+        }
+        SwarMerge.accumulate(dst, srcs);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The AVX2 wide-add kernel; every intrinsic call is guarded by the
+    //! caller's feature check, and the caller has verified that all
+    //! rows share `dst.len()` so the raw pointer arithmetic below stays
+    //! in bounds.
+
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm_prefetch,
+        _MM_HINT_T0,
+    };
+
+    /// Buckets per block: eight 4-lane vectors kept in registers across
+    /// all source rows.
+    const BLOCK: usize = 32;
+    const VECS: usize = BLOCK / 4;
+    /// Cache lines per block (`BLOCK * 8` bytes, 64-byte lines).
+    const LINES: usize = BLOCK * 8 / 64;
+    /// How many source rows ahead to prefetch: the block-major walk
+    /// jumps between unrelated row allocations, so the hardware stride
+    /// prefetcher never locks on — without hints every row's block
+    /// arrives cold from L2.
+    const AHEAD: usize = 2;
+
+    /// Adds every source row into `dst`, 32 buckets at a time.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support on this CPU and that
+    /// every row of `srcs` is exactly `dst.len()` wide.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn accumulate(dst: &mut [f64], srcs: &[&[f64]]) {
+        let width = dst.len();
+        let mut pos = 0;
+        while pos + BLOCK <= width {
+            // SAFETY: `pos + BLOCK <= width` bounds every lane of every
+            // load and store in this block, for `dst` and (by the
+            // caller's width check) every source row.
+            let mut acc = [_mm256_setzero_pd(); VECS];
+            let base = dst.as_ptr().add(pos);
+            for (v, slot) in acc.iter_mut().enumerate() {
+                *slot = _mm256_loadu_pd(base.add(4 * v));
+            }
+            for (i, src) in srcs.iter().enumerate() {
+                // Prefetch has no architectural effect, so the add order
+                // (and therefore the result bits) is unchanged.
+                if let Some(next) = srcs.get(i + AHEAD) {
+                    let hint = next.as_ptr().add(pos).cast::<i8>();
+                    for line in 0..LINES {
+                        _mm_prefetch::<_MM_HINT_T0>(hint.add(64 * line));
+                    }
+                }
+                let row = src.as_ptr().add(pos);
+                for (v, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm256_add_pd(*slot, _mm256_loadu_pd(row.add(4 * v)));
+                }
+            }
+            let out = dst.as_mut_ptr().add(pos);
+            for (v, slot) in acc.iter().enumerate() {
+                _mm256_storeu_pd(out.add(4 * v), *slot);
+            }
+            pos += BLOCK;
+        }
+        // Tail (< 32 buckets): per-bucket accumulation, same add order.
+        for (j, d) in dst.iter_mut().enumerate().skip(pos) {
+            for src in srcs {
+                *d += src[j];
+            }
+        }
+    }
+}
+
+/// The merge-side capability/cost table for this host.
+///
+/// The `simd` row is available only on x86_64 CPUs with AVX2; elsewhere
+/// `resolve` degrades it to the portable SWAR kernel.
+#[must_use]
+pub fn merge_kernels() -> [KernelEntry; 3] {
+    #[cfg(target_arch = "x86_64")]
+    let simd_available = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd_available = false;
+    [
+        KernelEntry {
+            kind: KernelKind::Scalar,
+            available: true,
+            cost: 100,
+        },
+        KernelEntry {
+            kind: KernelKind::Swar,
+            available: true,
+            cost: 45,
+        },
+        KernelEntry {
+            kind: KernelKind::Simd,
+            available: simd_available,
+            cost: 30,
+        },
+    ]
+}
+
+/// Resolves a merge kernel choice against [`merge_kernels`].
+#[must_use]
+pub fn resolve_merge(choice: KernelChoice) -> KernelKind {
+    rdx_trace::kernels::resolve(&merge_kernels(), choice)
+}
+
+/// Runs the merge kernel of `kind` (static dispatch — the reduction
+/// resolves the kind once).
+#[inline]
+pub fn run_merge(kind: KernelKind, dst: &mut [f64], srcs: &[&[f64]]) {
+    match kind {
+        KernelKind::Scalar => ScalarMerge.accumulate(dst, srcs),
+        KernelKind::Swar => SwarMerge.accumulate(dst, srcs),
+        KernelKind::Simd => SimdMerge.accumulate(dst, srcs),
+    }
+}
+
+/// The merge kernel instance for `kind`, for benches and tests that
+/// drive kernels directly.
+#[must_use]
+pub fn merge_kernel(kind: KernelKind) -> &'static dyn MergeKernel {
+    match kind {
+        KernelKind::Scalar => &ScalarMerge,
+        KernelKind::Swar => &SwarMerge,
+        KernelKind::Simd => &SimdMerge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random integer-valued weights (exactly
+    /// representable, so the bit-identity assertions are meaningful and
+    /// strict at once).
+    fn rows(seed: u64, n: usize, width: usize) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| (0..width).map(|_| (next() % 1000) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn resolve_auto_prefers_fastest_available() {
+        let auto = resolve_merge(KernelChoice::Auto);
+        assert_ne!(auto, KernelKind::Scalar);
+        assert_eq!(resolve_merge(KernelChoice::Scalar), KernelKind::Scalar);
+        assert_eq!(resolve_merge(KernelChoice::Swar), KernelKind::Swar);
+    }
+
+    #[test]
+    fn kernels_match_the_scalar_oracle_bit_for_bit() {
+        // Widths straddle every block boundary: SWAR lanes (8) and the
+        // AVX2 block (32), plus ragged tails and a sub-lane width.
+        for width in [0usize, 1, 5, 8, 9, 31, 32, 33, 64, 100, 257] {
+            for nsrc in [0usize, 1, 2, 7, 33] {
+                let data = rows(0x9e37 + width as u64, nsrc, width);
+                let srcs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+                let dst0: Vec<f64> = rows(42, 1, width).remove(0);
+                let mut want = dst0.clone();
+                ScalarMerge.accumulate(&mut want, &srcs);
+                for kind in [KernelKind::Scalar, KernelKind::Swar, KernelKind::Simd] {
+                    let mut got = dst0.clone();
+                    run_merge(kind, &mut got, &srcs);
+                    let same = want
+                        .iter()
+                        .zip(&got)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "kind={kind:?} width={width} nsrc={nsrc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_instances_report_their_kind() {
+        for kind in [KernelKind::Scalar, KernelKind::Swar, KernelKind::Simd] {
+            assert_eq!(merge_kernel(kind).kind(), kind);
+        }
+    }
+}

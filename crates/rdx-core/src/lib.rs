@@ -46,7 +46,12 @@
 //! assert!((60.0..160.0).contains(&mean), "mean {mean}");
 //! ```
 
-#![forbid(unsafe_code)]
+// The AVX2 merge kernel needs core::arch intrinsics, so this crate can
+// only *deny* unsafe code, not forbid it: `kernels.rs` re-allows it for
+// exactly that module, and the unsafe-confinement lint pins every
+// `unsafe` token in the workspace to the allowlisted kernel files.
+// rdx-lint-allow: forbid-unsafe — arch intrinsics confined to kernels.rs
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -54,12 +59,15 @@ pub mod budget;
 mod config;
 pub mod convert;
 pub mod ingest;
+pub mod kernels;
 pub mod km;
 pub mod limits;
+mod merge;
 mod profiler;
 mod report;
 mod runner;
 mod windows;
+mod wire;
 
 pub use batch::{default_jobs, profile_batch, BatchTask};
 pub use config::{CensoringCorrection, ConversionMethod, RdxConfig, ReplacementPolicy};
@@ -67,8 +75,13 @@ pub use convert::WeightedFootprint;
 pub use ingest::{
     load_rdxt, profile_rdxt_batch, IngestError, IngestOptions, RdxtInput, RdxtReport, RdxtStream,
 };
+pub use kernels::{
+    merge_kernel, merge_kernels, resolve_merge, KernelChoice, KernelEntry, KernelKind, MergeKernel,
+};
 pub use limits::LimitError;
+pub use merge::{merge_batch, merge_batch_with, merge_histogram_batch, MergeError};
 pub use profiler::RdxProfiler;
 pub use report::RdxProfile;
 pub use runner::RdxRunner;
 pub use windows::WindowedProfile;
+pub use wire::{decode_profile, encode_profile, WireError, RDXP_VERSION};

@@ -1,0 +1,517 @@
+//! Fleet aggregation: the profile monoid and its parallel tree
+//! reduction.
+//!
+//! [`RdxProfile`] forms a commutative monoid under merge: histograms
+//! add bucket-wise, counters (samples, traps, evictions, censoring
+//! metadata) add, `m_estimate` adds (the distinct-block estimate of a
+//! union of disjoint shards is the sum of the shard estimates — the
+//! property the `ShardedExact` golden test pins), and the identity is
+//! [`RdxProfile::empty_like`]. Reuse-*time* histograms merged before
+//! footprint conversion are provably exact, so this is the safe level
+//! to aggregate at; `time_overhead` is a *ratio*, not a sum, and is
+//! recomputed from the merged event counts at the end of every
+//! reduction (the same [`CostLedger`] formula the runner uses, so
+//! merging with the identity is bit-invisible).
+//!
+//! **Determinism.** `f64` addition is not associative, so the reduction
+//! shape must not depend on the job count. [`merge_batch`] always uses
+//! the same fixed shape: consecutive groups of [`LEAF`] profiles are
+//! accumulated by one multi-source kernel call each (this is where the
+//! SIMD wide-add pays off — the destination block stays in registers
+//! across all sources), then the group results are combined by a
+//! pairwise binary tree `((G0⊕G1)⊕(G2⊕G3))⊕…` on the caller's thread.
+//! Only the *leaf* work is parallel (claimed from a shared cursor, the
+//! PR-1 batch-pool idiom), and each leaf's result is a pure function of
+//! its own group — so the merged profile is bit-identical at every job
+//! count and under every kernel (the kernels share a per-bucket
+//! source-order add contract; see [`crate::kernels`]).
+
+use crate::batch::dispatch;
+use crate::kernels::{resolve_merge, run_merge, KernelChoice, KernelKind};
+use crate::report::RdxProfile;
+use memsim::cost::CostLedger;
+use parking_lot::Mutex;
+use rdx_histogram::{BinningMismatch, Histogram, RdHistogram, RtHistogram};
+use rdx_trace::Granularity;
+use std::fmt;
+
+/// Profiles accumulated per reduction leaf by one multi-source kernel
+/// call. Part of the deterministic reduction shape: changing it changes
+/// merged bits, so it is a constant, never a tunable.
+const LEAF: usize = 8;
+
+/// Typed failure of a profile merge: the inputs are not aggregatable.
+///
+/// Every variant is recoverable — `rdx merge` reports it and exits
+/// cleanly rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeError {
+    /// Reuse-distance histograms disagree on binning.
+    RdBinning(BinningMismatch),
+    /// Reuse-time histograms disagree on binning.
+    RtBinning(BinningMismatch),
+    /// Profiles were taken at different granularities.
+    Granularity {
+        /// Granularity of the first profile.
+        left: Granularity,
+        /// Granularity of the offending profile.
+        right: Granularity,
+    },
+    /// Profiles carry different cost models, so overhead ratios would
+    /// not be comparable after merging.
+    CostModel,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::RdBinning(e) => write!(f, "reuse-distance {e}"),
+            MergeError::RtBinning(e) => write!(f, "reuse-time {e}"),
+            MergeError::Granularity { left, right } => {
+                write!(f, "profile granularities differ: {left} vs {right}")
+            }
+            MergeError::CostModel => write!(f, "profile cost models differ"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Checks that `b` can be merged into `a`.
+fn check_compatible(a: &RdxProfile, b: &RdxProfile) -> Result<(), MergeError> {
+    let (ra, rb) = (a.rd.as_histogram().binning(), b.rd.as_histogram().binning());
+    if ra != rb {
+        return Err(MergeError::RdBinning(BinningMismatch {
+            left: ra,
+            right: rb,
+        }));
+    }
+    let (ta, tb) = (a.rt.as_histogram().binning(), b.rt.as_histogram().binning());
+    if ta != tb {
+        return Err(MergeError::RtBinning(BinningMismatch {
+            left: ta,
+            right: tb,
+        }));
+    }
+    if a.granularity != b.granularity {
+        return Err(MergeError::Granularity {
+            left: a.granularity,
+            right: b.granularity,
+        });
+    }
+    if a.cost != b.cost {
+        return Err(MergeError::CostModel);
+    }
+    Ok(())
+}
+
+/// Adds every source row into `dst` with the resolved kernel,
+/// preserving exact pairwise-merge semantics for ragged widths.
+///
+/// Sources shorter than a bucket index contribute nothing there (just
+/// like chained [`Histogram::merge`] calls), so rows are *not* padded:
+/// the bucket range is cut at each distinct source width and the kernel
+/// runs once per segment over the sources that reach it, in source
+/// order — the common equal-width case is a single full-width call.
+fn accumulate_rows(kind: KernelKind, dst: &mut Vec<f64>, rows: &[&[f64]]) {
+    let max = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    if dst.len() < max {
+        dst.resize(max, 0.0);
+    }
+    let mut bounds: Vec<usize> = rows.iter().map(|r| r.len()).filter(|&l| l > 0).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut segment: Vec<&[f64]> = Vec::with_capacity(rows.len());
+    let mut lo = 0usize;
+    for &hi in &bounds {
+        segment.clear();
+        segment.extend(rows.iter().filter(|r| r.len() >= hi).map(|r| &r[lo..hi]));
+        run_merge(kind, &mut dst[lo..hi], &segment);
+        lo = hi;
+    }
+}
+
+/// Merges `srcs` into `dst` (histogram level): buckets via the kernel,
+/// infinite weight and observations folded in source order.
+fn accumulate_hist(kind: KernelKind, dst: Histogram, srcs: &[&Histogram]) -> Histogram {
+    let (binning, mut buckets, mut infinite, mut observations) = dst.into_parts();
+    let rows: Vec<&[f64]> = srcs.iter().map(|h| h.weights()).collect();
+    accumulate_rows(kind, &mut buckets, &rows);
+    for h in srcs {
+        infinite += h.infinite_weight();
+        observations = observations.saturating_add(h.observations());
+    }
+    Histogram::from_parts(binning, buckets, infinite, observations)
+}
+
+/// Merges every profile of `srcs` into `dst` (already validated as
+/// compatible). `time_overhead` is left stale here; the reduction
+/// recomputes it once at the end.
+fn merge_group(dst: &mut RdxProfile, srcs: &[RdxProfile], kind: KernelKind) {
+    let rd_binning = dst.rd.as_histogram().binning();
+    let rt_binning = dst.rt.as_histogram().binning();
+    let rd = std::mem::replace(&mut dst.rd, RdHistogram::new(rd_binning)).into_histogram();
+    let rt = std::mem::replace(&mut dst.rt, RtHistogram::new(rt_binning)).into_histogram();
+    let rd_rows: Vec<&Histogram> = srcs.iter().map(|p| p.rd.as_histogram()).collect();
+    let rt_rows: Vec<&Histogram> = srcs.iter().map(|p| p.rt.as_histogram()).collect();
+    dst.rd = RdHistogram::from(accumulate_hist(kind, rd, &rd_rows));
+    dst.rt = RtHistogram::from(accumulate_hist(kind, rt, &rt_rows));
+    for p in srcs {
+        dst.accesses = dst.accesses.saturating_add(p.accesses);
+        dst.samples = dst.samples.saturating_add(p.samples);
+        dst.traps = dst.traps.saturating_add(p.traps);
+        dst.evictions = dst.evictions.saturating_add(p.evictions);
+        dst.end_censored = dst.end_censored.saturating_add(p.end_censored);
+        dst.dropped_samples = dst.dropped_samples.saturating_add(p.dropped_samples);
+        dst.duplicate_samples = dst.duplicate_samples.saturating_add(p.duplicate_samples);
+        dst.profiler_bytes = dst.profiler_bytes.saturating_add(p.profiler_bytes);
+        dst.m_estimate += p.m_estimate;
+    }
+}
+
+/// Reduces `items` with the fixed leaf-group + pairwise-tree shape.
+///
+/// `reduce(first, rest)` must fold `rest` into `first` and return it;
+/// the shape (and therefore every intermediate operand sequence)
+/// depends only on `items.len()`, never on `jobs`.
+fn tree_reduce<T, R>(items: Vec<T>, jobs: usize, reduce: R) -> Option<T>
+where
+    T: Send,
+    R: Fn(T, &[T]) -> T + Sync,
+{
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(LEAF));
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(LEAF).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        groups.push(chunk);
+    }
+    let jobs = jobs.clamp(1, groups.len().max(1));
+    let mut level: Vec<T> = if jobs == 1 || groups.len() == 1 {
+        groups
+            .into_iter()
+            .filter_map(|g| reduce_group(g, &reduce))
+            .collect()
+    } else {
+        // The PR-1 dispatch idiom: a shared claim cursor hands each
+        // leaf to exactly one worker; results land in per-leaf slots,
+        // so leaf order (and thus the tree's operand order) is
+        // preserved no matter how workers interleave.
+        let slots: Vec<Mutex<Option<Vec<T>>>> =
+            groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+        let out: Vec<Mutex<Option<T>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        let claims = dispatch::Claims::new(slots.len());
+        let scope_result = crossbeam::scope(|scope| {
+            for _ in 0..jobs {
+                let (slots, out, claims, reduce) = (&slots, &out, &claims, &reduce);
+                scope.spawn(move |_| {
+                    while let Some(i) = claims.next() {
+                        if let Some(group) = slots[i].lock().take() {
+                            if let Some(merged) = reduce_group(group, reduce) {
+                                *out[i].lock() = Some(merged);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
+        out.into_iter().filter_map(Mutex::into_inner).collect()
+    };
+    // Fixed pairwise binary tree ((G0⊕G1)⊕(G2⊕G3))⊕…, sequential on
+    // the caller's thread: log₂(leaves) levels of cheap pair merges.
+    while level.len() > 1 {
+        let mut next: Vec<T> = Vec::with_capacity(level.len().div_ceil(2));
+        let mut pairs = level.into_iter();
+        while let Some(a) = pairs.next() {
+            match pairs.next() {
+                Some(b) => next.push(reduce(a, &[b])),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop()
+}
+
+fn reduce_group<T>(mut group: Vec<T>, reduce: &impl Fn(T, &[T]) -> T) -> Option<T> {
+    if group.is_empty() {
+        return None;
+    }
+    let rest = group.split_off(1);
+    let first = group.pop()?;
+    Some(reduce(first, &rest))
+}
+
+/// Recomputes the ratio metadata that does not add under merge: the
+/// time overhead of the aggregate is the ledger formula over the merged
+/// event counts — exactly how the runner computed it for each input, so
+/// canonical profiles survive a merge with the identity bit-for-bit.
+fn finalize(mut p: RdxProfile) -> RdxProfile {
+    let ledger = CostLedger {
+        accesses: p.accesses,
+        samples: p.samples,
+        traps: p.traps,
+        arms: 0,
+    };
+    p.time_overhead = ledger.time_overhead(&p.cost);
+    p
+}
+
+/// Merges a batch of profiles into one fleet profile with the
+/// auto-resolved kernel. See [`merge_batch_with`].
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] if any profile is incompatible with the
+/// first (binning, granularity, or cost model).
+pub fn merge_batch(
+    profiles: Vec<RdxProfile>,
+    jobs: usize,
+) -> Result<Option<RdxProfile>, MergeError> {
+    merge_batch_with(profiles, jobs, KernelChoice::Auto)
+}
+
+/// Merges a batch of profiles into one fleet profile.
+///
+/// Returns `Ok(None)` for an empty batch. The reduction shape is fixed
+/// (see the module docs), so the result is bit-identical for every
+/// `jobs` value and every kernel choice; `jobs` only controls how many
+/// worker threads reduce the leaf groups.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] if any profile is incompatible with the
+/// first (binning, granularity, or cost model). Compatibility is
+/// validated up front — on error no work has been done.
+pub fn merge_batch_with(
+    profiles: Vec<RdxProfile>,
+    jobs: usize,
+    choice: KernelChoice,
+) -> Result<Option<RdxProfile>, MergeError> {
+    let Some(first) = profiles.first() else {
+        return Ok(None);
+    };
+    for p in &profiles[1..] {
+        check_compatible(first, p)?;
+    }
+    let kind = resolve_merge(choice);
+    rdx_metrics::counter("rdx.merge.batches").add(1);
+    rdx_metrics::counter("rdx.merge.profiles").add(profiles.len() as u64);
+    let merged = tree_reduce(profiles, jobs, |mut dst, srcs| {
+        merge_group(&mut dst, srcs, kind);
+        dst
+    });
+    Ok(merged.map(finalize))
+}
+
+/// Merges a batch of raw histograms into one, using the same fixed
+/// reduction shape (and kernel dispatch) as [`merge_batch_with`].
+///
+/// This is the reuse-time aggregation primitive: per-shard RT
+/// histograms merged here and *then* converted to reuse distance are
+/// provably exact, which the `ShardedExact` golden test exercises.
+/// Returns `Ok(None)` for an empty batch.
+///
+/// # Errors
+///
+/// Returns [`BinningMismatch`] if any histogram's binning differs from
+/// the first's.
+pub fn merge_histogram_batch(
+    histograms: Vec<Histogram>,
+    jobs: usize,
+    choice: KernelChoice,
+) -> Result<Option<Histogram>, BinningMismatch> {
+    let Some(first) = histograms.first() else {
+        return Ok(None);
+    };
+    let binning = first.binning();
+    for h in &histograms[1..] {
+        if h.binning() != binning {
+            return Err(BinningMismatch {
+                left: binning,
+                right: h.binning(),
+            });
+        }
+    }
+    let kind = resolve_merge(choice);
+    rdx_metrics::counter("rdx.merge.batches").add(1);
+    rdx_metrics::counter("rdx.merge.profiles").add(histograms.len() as u64);
+    Ok(tree_reduce(histograms, jobs, |dst, srcs| {
+        let rows: Vec<&Histogram> = srcs.iter().collect();
+        accumulate_hist(kind, dst, &rows)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::cost::CostModel;
+    use rdx_histogram::{Binning, ReuseDistance, ReuseTime};
+
+    fn profile(seed: u64) -> RdxProfile {
+        let mut rd = RdHistogram::new(Binning::log2());
+        let mut rt = RtHistogram::new(Binning::log2());
+        for k in 0..20u64 {
+            rd.record(
+                ReuseDistance::finite(seed * 13 + k * k),
+                1.0 + (k % 5) as f64,
+            );
+            rt.record(ReuseTime::finite(seed * 7 + k * 3), 2.0);
+        }
+        rd.record(ReuseDistance::INFINITE, seed as f64 + 1.0);
+        rt.record(ReuseTime::INFINITE, seed as f64 + 1.0);
+        RdxProfile {
+            rd,
+            rt,
+            granularity: Granularity::CACHE_LINE,
+            accesses: 10_000 + seed,
+            samples: 100 + seed,
+            traps: 90 + seed,
+            evictions: seed % 3,
+            end_censored: seed % 5,
+            dropped_samples: 0,
+            duplicate_samples: seed % 2,
+            m_estimate: 50.0 + seed as f64,
+            time_overhead: 0.0,
+            profiler_bytes: 1 << 16,
+            cost: CostModel::default(),
+        }
+    }
+
+    fn bits(p: &RdxProfile) -> Vec<u64> {
+        let mut out = vec![
+            p.accesses,
+            p.samples,
+            p.traps,
+            p.evictions,
+            p.end_censored,
+            p.dropped_samples,
+            p.duplicate_samples,
+            p.m_estimate.to_bits(),
+            p.time_overhead.to_bits(),
+            p.profiler_bytes,
+        ];
+        for h in [p.rd.as_histogram(), p.rt.as_histogram()] {
+            out.extend(h.weights().iter().map(|w| w.to_bits()));
+            out.push(h.infinite_weight().to_bits());
+            out.push(h.observations());
+        }
+        out
+    }
+
+    #[test]
+    fn empty_batch_merges_to_none() {
+        assert!(merge_batch(Vec::new(), 4).unwrap().is_none());
+        assert!(merge_histogram_batch(Vec::new(), 4, KernelChoice::Auto)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bit_identical_at_every_job_count_and_kernel() {
+        let batch: Vec<RdxProfile> = (0..37).map(profile).collect();
+        let want = merge_batch_with(batch.clone(), 1, KernelChoice::Scalar)
+            .unwrap()
+            .unwrap();
+        for jobs in [1usize, 2, 3, 5, 8, 64] {
+            for choice in [
+                KernelChoice::Auto,
+                KernelChoice::Scalar,
+                KernelChoice::Swar,
+                KernelChoice::Simd,
+            ] {
+                let got = merge_batch_with(batch.clone(), jobs, choice)
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "jobs={jobs} kernel={}",
+                    choice.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_binning_is_typed_and_upfront() {
+        let mut batch: Vec<RdxProfile> = (0..3).map(profile).collect();
+        let mut odd = profile(9);
+        odd.rd = RdHistogram::new(Binning::linear(64));
+        batch.push(odd);
+        match merge_batch(batch, 2) {
+            Err(MergeError::RdBinning(e)) => {
+                assert_eq!(e.right, Binning::linear(64));
+            }
+            other => panic!("expected RdBinning error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incompatible_granularity_and_cost_are_typed() {
+        let mut gran = profile(1);
+        gran.granularity = Granularity::PAGE;
+        assert!(matches!(
+            merge_batch(vec![profile(0), gran], 1),
+            Err(MergeError::Granularity { .. })
+        ));
+        let mut cost = profile(1);
+        cost.cost.cycles_per_trap += 1.0;
+        assert_eq!(
+            merge_batch(vec![profile(0), cost], 1).unwrap_err(),
+            MergeError::CostModel
+        );
+    }
+
+    #[test]
+    fn counters_and_overhead_compose() {
+        let batch: Vec<RdxProfile> = (0..5).map(profile).collect();
+        let total_accesses: u64 = batch.iter().map(|p| p.accesses).sum();
+        let total_samples: u64 = batch.iter().map(|p| p.samples).sum();
+        let merged = merge_batch(batch, 2).unwrap().unwrap();
+        assert_eq!(merged.accesses, total_accesses);
+        assert_eq!(merged.samples, total_samples);
+        let ledger = CostLedger {
+            accesses: merged.accesses,
+            samples: merged.samples,
+            traps: merged.traps,
+            arms: 0,
+        };
+        assert_eq!(
+            merged.time_overhead.to_bits(),
+            ledger.time_overhead(&merged.cost).to_bits()
+        );
+    }
+
+    #[test]
+    fn ragged_widths_match_chained_pairwise_merge() {
+        // Histograms of very different touched widths: the segmented
+        // kernel path must equal chained Histogram::merge exactly.
+        let mut hists = Vec::new();
+        for k in 0..11u64 {
+            let mut h = Histogram::new(Binning::log2());
+            for v in 0..(1u64 << k) {
+                h.record(v, 1.0);
+            }
+            if k % 2 == 0 {
+                h.record_infinite(k as f64);
+            }
+            hists.push(h);
+        }
+        let mut want = Histogram::new(Binning::log2());
+        for h in &hists {
+            want.merge(h).unwrap();
+        }
+        for choice in [KernelChoice::Scalar, KernelChoice::Swar, KernelChoice::Simd] {
+            let got = merge_histogram_batch(hists.clone(), 3, choice)
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, want, "kernel={}", choice.name());
+        }
+    }
+}

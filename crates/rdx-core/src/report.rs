@@ -10,7 +10,7 @@ use rdx_trace::Granularity;
 /// histograms equals the number of accesses executed (every access has one
 /// reuse time/distance, with first-touches in the cold bucket), so profiles
 /// are directly comparable to exhaustive ground truth.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RdxProfile {
     /// Estimated reuse-distance histogram — the paper's deliverable.
     pub rd: RdHistogram,
@@ -45,6 +45,40 @@ pub struct RdxProfile {
 }
 
 impl RdxProfile {
+    /// The merge identity shaped like this profile: empty histograms
+    /// with the same binnings, zero counters, and the same granularity
+    /// and cost model (the merge-compatibility keys).
+    ///
+    /// Merging the result into any profile compatible with `self`
+    /// leaves that profile bit-identical — the monoid identity that
+    /// `tests/merge_monoid.rs` pins.
+    #[must_use]
+    pub fn empty_like(&self) -> RdxProfile {
+        RdxProfile {
+            rd: RdHistogram::new(self.rd.as_histogram().binning()),
+            rt: RtHistogram::new(self.rt.as_histogram().binning()),
+            granularity: self.granularity,
+            accesses: 0,
+            samples: 0,
+            traps: 0,
+            evictions: 0,
+            end_censored: 0,
+            dropped_samples: 0,
+            duplicate_samples: 0,
+            // -0.0, not 0.0: IEEE-754 addition returns +0.0 for
+            // (-0.0) + 0.0, so +0.0 is *not* a bit-level additive
+            // identity — profiles can legitimately carry a -0.0
+            // estimate (e.g. a cold-fraction product rounding to
+            // negative zero), and merging the identity in must not
+            // flip its sign bit. x + (-0.0) == x bitwise for every
+            // finite x, which is what the golden digests demand.
+            m_estimate: -0.0,
+            time_overhead: 0.0,
+            profiler_bytes: 0,
+            cost: self.cost,
+        }
+    }
+
     /// Fractional memory overhead relative to an application footprint of
     /// `app_bytes` (profiler memory / application memory).
     ///

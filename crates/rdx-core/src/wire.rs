@@ -1,0 +1,451 @@
+//! `RDXP` — the versioned binary serialization of [`RdxProfile`].
+//!
+//! Fleet aggregation moves profiles between processes and machines
+//! (`rdx profile --save`, `rdx merge`, archival of per-session
+//! snapshots), so the profile needs a stable, self-describing wire
+//! form. The format is deliberately plain:
+//!
+//! ```text
+//! magic   "RDXP"                       4 bytes
+//! version u16 LE                       (RDXP_VERSION)
+//! granularity block bytes  u64 LE      (must be a power of two)
+//! counters                 8 × u64 LE  accesses, samples, traps,
+//!                                      evictions, end_censored,
+//!                                      dropped_samples,
+//!                                      duplicate_samples,
+//!                                      profiler_bytes
+//! m_estimate, time_overhead            f64 bits as u64 LE
+//! cost model               4 × f64 bits + 2 × u64 LE
+//! rd histogram, rt histogram, each:
+//!   binning tag u8                     0 = linear, 1 = log2
+//!   binning param u64 LE               width / sub-bucket count
+//!   bucket count u64 LE
+//!   bucket weights                     count × f64 bits
+//!   infinite weight                    f64 bits
+//!   observations u64 LE
+//! ```
+//!
+//! Weights travel as `f64::to_bits`, so `decode ∘ encode` is the
+//! identity bit-for-bit (the monoid proptests in
+//! `tests/merge_monoid.rs` pin this). Decoding is total: malformed
+//! input — bad magic, unknown version, non-power-of-two granularity,
+//! zero binning parameters, non-finite or negative weights, truncation,
+//! trailing bytes — yields a typed [`WireError`], never a panic.
+
+use crate::report::RdxProfile;
+use memsim::cost::CostModel;
+use rdx_histogram::{Binning, Histogram, RdHistogram, RtHistogram};
+use rdx_trace::Granularity;
+use std::fmt;
+
+/// The wire-format version this build writes and accepts.
+pub const RDXP_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"RDXP";
+
+/// Typed decode failure for [`decode_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer does not start with the `RDXP` magic.
+    BadMagic,
+    /// The version field names a format this build does not speak.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build writes and accepts.
+        expected: u16,
+    },
+    /// The buffer ended before the structure it promised.
+    Truncated,
+    /// Bytes remained after a complete profile.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// The granularity field is not a non-zero power of two.
+    BadGranularity {
+        /// The offending block size.
+        block_bytes: u64,
+    },
+    /// Unknown binning tag byte.
+    BadBinningTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A binning parameter outside its valid range (zero width, zero or
+    /// oversized sub-bucket count).
+    BadBinningParam {
+        /// The binning tag the parameter belongs to.
+        tag: u8,
+        /// The offending parameter value.
+        param: u64,
+    },
+    /// A histogram weight is not finite and non-negative.
+    BadWeight,
+    /// A metadata float (estimate, overhead, or cost-model field) is
+    /// not finite.
+    BadFloat {
+        /// Which field was malformed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not an RDXP profile (bad magic)"),
+            WireError::VersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "RDXP version mismatch: found {found}, expected {expected}"
+                )
+            }
+            WireError::Truncated => write!(f, "RDXP profile is truncated"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "RDXP profile has {extra} trailing bytes")
+            }
+            WireError::BadGranularity { block_bytes } => {
+                write!(
+                    f,
+                    "granularity {block_bytes} is not a power-of-two block size"
+                )
+            }
+            WireError::BadBinningTag { tag } => write!(f, "unknown binning tag {tag}"),
+            WireError::BadBinningParam { tag, param } => {
+                write!(f, "binning parameter {param} invalid for tag {tag}")
+            }
+            WireError::BadWeight => {
+                write!(f, "histogram weight is not finite and non-negative")
+            }
+            WireError::BadFloat { field } => write!(f, "field {field} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a profile to `RDXP` bytes.
+#[must_use]
+pub fn encode_profile(profile: &RdxProfile) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + 8 * (profile.rd.as_histogram().bucket_len() + profile.rt.as_histogram().bucket_len()),
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&RDXP_VERSION.to_le_bytes());
+    put_u64(&mut out, profile.granularity.block_bytes());
+    for c in [
+        profile.accesses,
+        profile.samples,
+        profile.traps,
+        profile.evictions,
+        profile.end_censored,
+        profile.dropped_samples,
+        profile.duplicate_samples,
+        profile.profiler_bytes,
+    ] {
+        put_u64(&mut out, c);
+    }
+    put_u64(&mut out, profile.m_estimate.to_bits());
+    put_u64(&mut out, profile.time_overhead.to_bits());
+    put_u64(&mut out, profile.cost.cycles_per_access.to_bits());
+    put_u64(&mut out, profile.cost.cycles_per_sample.to_bits());
+    put_u64(&mut out, profile.cost.cycles_per_trap.to_bits());
+    put_u64(
+        &mut out,
+        profile.cost.cycles_per_instrumented_access.to_bits(),
+    );
+    put_u64(&mut out, profile.cost.profiler_fixed_bytes);
+    put_u64(&mut out, profile.cost.instrumentation_bytes_per_block);
+    put_histogram(&mut out, profile.rd.as_histogram());
+    put_histogram(&mut out, profile.rt.as_histogram());
+    rdx_metrics::counter("rdx.merge.encoded").add(1);
+    out
+}
+
+/// Deserializes a profile from `RDXP` bytes.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first malformation found;
+/// the whole buffer must be one profile (trailing bytes are an error).
+pub fn decode_profile(bytes: &[u8]) -> Result<RdxProfile, WireError> {
+    let mut r = Reader { buf: bytes };
+    if r.take(4)? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.take_u16()?;
+    if version != RDXP_VERSION {
+        return Err(WireError::VersionMismatch {
+            found: version,
+            expected: RDXP_VERSION,
+        });
+    }
+    let block_bytes = r.take_u64()?;
+    if !block_bytes.is_power_of_two() {
+        return Err(WireError::BadGranularity { block_bytes });
+    }
+    let granularity = Granularity::from_block_bytes(block_bytes);
+    let accesses = r.take_u64()?;
+    let samples = r.take_u64()?;
+    let traps = r.take_u64()?;
+    let evictions = r.take_u64()?;
+    let end_censored = r.take_u64()?;
+    let dropped_samples = r.take_u64()?;
+    let duplicate_samples = r.take_u64()?;
+    let profiler_bytes = r.take_u64()?;
+    let m_estimate = r.take_finite("m_estimate")?;
+    let time_overhead = r.take_finite("time_overhead")?;
+    let cost = CostModel {
+        cycles_per_access: r.take_finite("cycles_per_access")?,
+        cycles_per_sample: r.take_finite("cycles_per_sample")?,
+        cycles_per_trap: r.take_finite("cycles_per_trap")?,
+        cycles_per_instrumented_access: r.take_finite("cycles_per_instrumented_access")?,
+        profiler_fixed_bytes: r.take_u64()?,
+        instrumentation_bytes_per_block: r.take_u64()?,
+    };
+    let rd = RdHistogram::from(take_histogram(&mut r)?);
+    let rt = RtHistogram::from(take_histogram(&mut r)?);
+    if !r.buf.is_empty() {
+        return Err(WireError::TrailingBytes { extra: r.buf.len() });
+    }
+    rdx_metrics::counter("rdx.merge.decoded").add(1);
+    Ok(RdxProfile {
+        rd,
+        rt,
+        granularity,
+        accesses,
+        samples,
+        traps,
+        evictions,
+        end_censored,
+        dropped_samples,
+        duplicate_samples,
+        m_estimate,
+        time_overhead,
+        profiler_bytes,
+        cost,
+    })
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    let (tag, param) = match h.binning() {
+        Binning::Linear { width } => (0u8, width),
+        Binning::Log2 { subs } => (1u8, u64::from(subs)),
+    };
+    out.push(tag);
+    put_u64(out, param);
+    put_u64(out, h.bucket_len() as u64);
+    for &w in h.weights() {
+        put_u64(out, w.to_bits());
+    }
+    put_u64(out, h.infinite_weight().to_bits());
+    put_u64(out, h.observations());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let bytes = self.buf.get(..n).ok_or(WireError::Truncated)?;
+        self.buf = &self.buf[n..];
+        Ok(bytes)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, WireError> {
+        let bytes = self.take(2)?;
+        let mut w = [0u8; 2];
+        w.copy_from_slice(bytes);
+        Ok(u16::from_le_bytes(w))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, WireError> {
+        let bytes = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    fn take_finite(&mut self, field: &'static str) -> Result<f64, WireError> {
+        let v = f64::from_bits(self.take_u64()?);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(WireError::BadFloat { field })
+        }
+    }
+}
+
+fn take_histogram(r: &mut Reader<'_>) -> Result<Histogram, WireError> {
+    let tag = *r.take(1)?.first().ok_or(WireError::Truncated)?;
+    let param = r.take_u64()?;
+    let binning = match tag {
+        0 => {
+            if param == 0 {
+                return Err(WireError::BadBinningParam { tag, param });
+            }
+            Binning::Linear { width: param }
+        }
+        1 => match u32::try_from(param) {
+            Ok(subs) if subs > 0 => Binning::Log2 { subs },
+            _ => return Err(WireError::BadBinningParam { tag, param }),
+        },
+        _ => return Err(WireError::BadBinningTag { tag }),
+    };
+    let count = r.take_u64()?;
+    // A bucket needs 8 bytes; a count promising more than the buffer
+    // holds is a truncation (and guards the allocation below).
+    let count = usize::try_from(count).map_err(|_| WireError::Truncated)?;
+    if count.checked_mul(8).is_none_or(|need| need > r.buf.len()) {
+        return Err(WireError::Truncated);
+    }
+    let mut buckets = Vec::with_capacity(count);
+    for _ in 0..count {
+        buckets.push(f64::from_bits(r.take_u64()?));
+    }
+    let infinite = f64::from_bits(r.take_u64()?);
+    let observations = r.take_u64()?;
+    Histogram::try_from_parts(binning, buckets, infinite, observations).ok_or(WireError::BadWeight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_histogram::{ReuseDistance, ReuseTime};
+
+    fn sample_profile() -> RdxProfile {
+        let mut rd = RdHistogram::new(Binning::log2());
+        rd.record(ReuseDistance::finite(3), 2.0);
+        rd.record(ReuseDistance::finite(900), 5.5);
+        rd.record(ReuseDistance::INFINITE, 3.25);
+        let mut rt = RtHistogram::new(Binning::log2());
+        rt.record(ReuseTime::finite(40), 7.0);
+        rt.record(ReuseTime::INFINITE, 1.0);
+        RdxProfile {
+            rd,
+            rt,
+            granularity: Granularity::CACHE_LINE,
+            accesses: 60_000,
+            samples: 117,
+            traps: 110,
+            evictions: 4,
+            end_censored: 7,
+            dropped_samples: 0,
+            duplicate_samples: 2,
+            m_estimate: 800.25,
+            time_overhead: 0.0421,
+            profiler_bytes: 1 << 20,
+            cost: CostModel::default(),
+        }
+    }
+
+    fn bits_equal(a: &RdxProfile, b: &RdxProfile) -> bool {
+        a.rd == b.rd
+            && a.rt == b.rt
+            && a.granularity == b.granularity
+            && a.accesses == b.accesses
+            && a.samples == b.samples
+            && a.traps == b.traps
+            && a.evictions == b.evictions
+            && a.end_censored == b.end_censored
+            && a.dropped_samples == b.dropped_samples
+            && a.duplicate_samples == b.duplicate_samples
+            && a.m_estimate.to_bits() == b.m_estimate.to_bits()
+            && a.time_overhead.to_bits() == b.time_overhead.to_bits()
+            && a.profiler_bytes == b.profiler_bytes
+            && a.cost == b.cost
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let p = sample_profile();
+        let bytes = encode_profile(&p);
+        let back = decode_profile(&bytes).unwrap();
+        assert!(bits_equal(&p, &back));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = encode_profile(&sample_profile());
+        bytes[0] = b'X';
+        assert_eq!(decode_profile(&bytes), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = encode_profile(&sample_profile());
+        bytes[4] = 0xFF;
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(WireError::VersionMismatch {
+                found: u16::from_le_bytes([0xFF, bytes[5]]),
+                expected: RDXP_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = encode_profile(&sample_profile());
+        for len in 0..bytes.len() {
+            let err = decode_profile(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated | WireError::BadMagic | WireError::VersionMismatch { .. }
+                ),
+                "len={len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_profile(&sample_profile());
+        bytes.push(0);
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_granularity_is_typed() {
+        let mut bytes = encode_profile(&sample_profile());
+        // The granularity word sits right after magic + version.
+        bytes[6..14].copy_from_slice(&96u64.to_le_bytes());
+        assert_eq!(
+            decode_profile(&bytes),
+            Err(WireError::BadGranularity { block_bytes: 96 })
+        );
+    }
+
+    #[test]
+    fn oversized_bucket_count_is_truncation_not_allocation() {
+        let p = sample_profile();
+        let bytes = encode_profile(&p);
+        // Corrupt the rd bucket count (first histogram): tag is at the
+        // fixed header end; count is 9 bytes further.
+        let header = 4 + 2 + 8 + 8 * 8 + 2 * 8 + 6 * 8;
+        let count_off = header + 1 + 8;
+        let mut corrupt = bytes.clone();
+        corrupt[count_off..count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_profile(&corrupt), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn negative_weight_is_typed() {
+        let p = sample_profile();
+        let bytes = encode_profile(&p);
+        let header = 4 + 2 + 8 + 8 * 8 + 2 * 8 + 6 * 8;
+        let first_weight = header + 1 + 8 + 8;
+        let mut corrupt = bytes.clone();
+        corrupt[first_weight..first_weight + 8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert_eq!(decode_profile(&corrupt), Err(WireError::BadWeight));
+    }
+}

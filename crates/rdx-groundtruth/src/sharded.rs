@@ -249,23 +249,34 @@ impl ShardedExact {
         self.shards
     }
 
-    /// Measures a stream exactly, in parallel. The result equals
-    /// [`ExactProfile::measure`] bucket for bucket (see module docs).
+    /// Runs only the partition pass, returning each shard's *exactly
+    /// shardable* piece: its reuse-time histogram and its cold
+    /// (first-touch) count. Shard order is deterministic (the block
+    /// hash), so the pieces merge back to the whole-trace reuse-time
+    /// histogram bit-for-bit — the property the fleet-aggregation
+    /// golden tests pin against `rdx_core::merge_batch`.
     #[must_use]
-    pub fn measure(
+    pub fn rt_partials(
         &self,
         stream: impl AccessStream,
         granularity: Granularity,
         binning: Binning,
-    ) -> ExactProfile {
+    ) -> Vec<(RtHistogram, u64)> {
+        let (passes, _accesses) = self.partition(stream, granularity, binning);
+        passes.into_iter().map(|p| (p.rt, p.cold)).collect()
+    }
+
+    /// Pass 1: partition. The caller's thread chunks the stream and
+    /// broadcasts; shard workers filter and track their own blocks.
+    /// Returns the per-shard passes and the total access count.
+    fn partition(
+        &self,
+        stream: impl AccessStream,
+        granularity: Granularity,
+        binning: Binning,
+    ) -> (Vec<ShardPass>, u64) {
         let shards = self.shards;
         let shards_u64 = shards as u64;
-
-        let _measure_span = rdx_metrics::span("rdx.sharded.measure");
-        rdx_metrics::counter("rdx.sharded.measurements").incr();
-
-        // Pass 1: partition. The caller's thread chunks the stream and
-        // broadcasts; shard workers filter and track their own blocks.
         let partition_span = rdx_metrics::span("partition");
         let mut chunker = Chunker::with_capacity(stream, self.chunk_capacity);
         let passes: Vec<ShardPass> = crossbeam::scope(|scope| {
@@ -296,6 +307,22 @@ impl ShardedExact {
         .expect("shard scope panicked");
         let accesses = chunker.accesses_delivered();
         drop(partition_span);
+        (passes, accesses)
+    }
+
+    /// Measures a stream exactly, in parallel. The result equals
+    /// [`ExactProfile::measure`] bucket for bucket (see module docs).
+    #[must_use]
+    pub fn measure(
+        &self,
+        stream: impl AccessStream,
+        granularity: Granularity,
+        binning: Binning,
+    ) -> ExactProfile {
+        let _measure_span = rdx_metrics::span("rdx.sharded.measure");
+        rdx_metrics::counter("rdx.sharded.measurements").incr();
+
+        let (passes, accesses) = self.partition(stream, granularity, binning);
         rdx_metrics::counter("rdx.sharded.accesses").add(accesses);
 
         // Pass 2: order queries globally (times are unique, so the order

@@ -163,6 +163,67 @@ impl Histogram {
         self.buckets.len()
     }
 
+    /// The dense finite-bucket weight array, indexed by bucket index.
+    ///
+    /// Buckets beyond the highest touched index are not represented;
+    /// use [`Histogram::weight_at`] for sparse lookups. This is the raw
+    /// view bulk merge kernels operate on.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Decomposes the histogram into `(binning, buckets, infinite,
+    /// observations)` — the inverse of [`Histogram::from_parts`].
+    #[must_use]
+    pub fn into_parts(self) -> (Binning, Vec<f64>, f64, u64) {
+        (self.binning, self.buckets, self.infinite, self.observations)
+    }
+
+    /// Reassembles a histogram from raw parts.
+    ///
+    /// The caller vouches that every weight is finite and non-negative
+    /// (the invariant `record*` enforces); merge engines use this to
+    /// rebuild histograms whose bucket arrays were combined out-of-place
+    /// by a bulk kernel. Untrusted input (wire decode) must go through
+    /// [`Histogram::try_from_parts`] instead.
+    #[must_use]
+    pub fn from_parts(
+        binning: Binning,
+        buckets: Vec<f64>,
+        infinite: f64,
+        observations: u64,
+    ) -> Histogram {
+        Histogram {
+            binning,
+            buckets,
+            infinite,
+            observations,
+        }
+    }
+
+    /// Validating variant of [`Histogram::from_parts`] for untrusted
+    /// input: returns `None` unless every weight (finite buckets and the
+    /// infinite bucket) is finite and non-negative.
+    #[must_use]
+    pub fn try_from_parts(
+        binning: Binning,
+        buckets: Vec<f64>,
+        infinite: f64,
+        observations: u64,
+    ) -> Option<Histogram> {
+        let ok = |w: f64| w.is_finite() && w >= 0.0;
+        if !ok(infinite) || !buckets.iter().all(|&w| ok(w)) {
+            return None;
+        }
+        Some(Histogram::from_parts(
+            binning,
+            buckets,
+            infinite,
+            observations,
+        ))
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Errors
@@ -304,12 +365,20 @@ pub struct BinningMismatch {
     pub right: Binning,
 }
 
+fn describe_binning(b: Binning) -> String {
+    match b {
+        Binning::Linear { width } => format!("linear(width={width})"),
+        Binning::Log2 { subs } => format!("log2(subs={subs})"),
+    }
+}
+
 impl fmt::Display for BinningMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "histogram binnings differ: {:?} vs {:?}",
-            self.left, self.right
+            "histogram binnings differ: left is {}, right is {}",
+            describe_binning(self.left),
+            describe_binning(self.right)
         )
     }
 }
@@ -379,6 +448,43 @@ mod tests {
         let b = Histogram::new(Binning::linear(10));
         let err = a.merge(&b).unwrap_err();
         assert!(err.to_string().contains("differ"));
+    }
+
+    #[test]
+    fn binning_mismatch_names_both_sides() {
+        // The error must carry the offending parameters, not just the
+        // condition: both the log2 sub-bucket count and the linear
+        // bucket width appear in the rendered message.
+        let mut a = Histogram::new(Binning::log2_sub(4));
+        let b = Histogram::new(Binning::linear(128));
+        let msg = a.merge(&b).unwrap_err().to_string();
+        assert!(msg.contains("log2(subs=4)"), "message was: {msg}");
+        assert!(msg.contains("linear(width=128)"), "message was: {msg}");
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut hist = h();
+        hist.record(3, 2.0);
+        hist.record(77, 1.5);
+        hist.record_infinite(4.0);
+        let original = hist.clone();
+        let (binning, buckets, infinite, observations) = hist.into_parts();
+        let back = Histogram::from_parts(binning, buckets, infinite, observations);
+        assert_eq!(back, original);
+        let (binning, buckets, infinite, observations) = back.clone().into_parts();
+        let validated =
+            Histogram::try_from_parts(binning, buckets, infinite, observations).unwrap();
+        assert_eq!(validated, original);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_bad_weights() {
+        let b = Binning::log2();
+        assert!(Histogram::try_from_parts(b, vec![1.0, f64::NAN], 0.0, 2).is_none());
+        assert!(Histogram::try_from_parts(b, vec![1.0, -2.0], 0.0, 2).is_none());
+        assert!(Histogram::try_from_parts(b, vec![1.0], f64::INFINITY, 1).is_none());
+        assert!(Histogram::try_from_parts(b, vec![1.0], -0.5, 1).is_none());
     }
 
     #[test]

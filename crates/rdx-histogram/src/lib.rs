@@ -40,6 +40,6 @@ mod reuse;
 pub mod stats;
 
 pub use binning::{Binning, BucketRange};
-pub use hist::{Bucket, Histogram};
+pub use hist::{BinningMismatch, Bucket, Histogram};
 pub use mrc::MissRatioCurve;
 pub use reuse::{RdHistogram, ReuseDistance, ReuseTime, RtHistogram};

@@ -83,6 +83,9 @@ impl LintConfig {
                 ("memsim", "debug.rs"),
                 ("rdx-core", "profiler.rs"),
                 ("rdx-core", "runner.rs"),
+                ("rdx-core", "kernels.rs"),
+                ("rdx-core", "merge.rs"),
+                ("rdx-core", "wire.rs"),
                 ("rdx-trace", "io.rs"),
                 ("rdx-trace", "kernels.rs"),
                 ("rdx-trace", "stream.rs"),
@@ -98,7 +101,7 @@ impl LintConfig {
             .iter()
             .map(|&(c, f)| (c.to_string(), f.to_string()))
             .collect(),
-            unsafe_allowed_files: [("memsim", "kernels.rs")]
+            unsafe_allowed_files: [("memsim", "kernels.rs"), ("rdx-core", "kernels.rs")]
                 .iter()
                 .map(|&(c, f)| (c.to_string(), f.to_string()))
                 .collect(),

@@ -91,6 +91,15 @@ pub struct MetricsReply {
     pub registry_json: String,
 }
 
+/// A `SnapshotAggregate` reply: one fleet profile over many sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReply {
+    /// How many sessions the server folded in.
+    pub sessions: u32,
+    /// The fleet profile.
+    pub profile: ProfileSnapshot,
+}
+
 /// The final answer of a closed session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CloseAck {
@@ -267,6 +276,36 @@ impl Client {
         }
     }
 
+    /// Asks the server for one fleet profile over several open
+    /// sessions, folded server-side with bounded memory.
+    ///
+    /// The reply equals folding `ProfileSnapshot::default()` with each
+    /// session's [`snapshot_histogram`](Self::snapshot_histogram)
+    /// result in `sessions` order through [`ProfileSnapshot::merge`] —
+    /// bit for bit, which the loopback tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (an empty list, an unknown session, or one
+    /// that is failed or not yet past its trace header aborts the whole
+    /// aggregate) or transport failures.
+    pub fn snapshot_aggregate(&mut self, sessions: &[u32]) -> Result<AggregateReply, ClientError> {
+        self.send(&ClientMessage::SnapshotAggregate {
+            sessions: sessions.to_vec(),
+        })?;
+        let msg = self.wait_matching_err(
+            |m| matches!(m, ServerMessage::Aggregate { .. }),
+            // The server blames whichever session broke the aggregate.
+            |_| true,
+        )?;
+        match msg {
+            ServerMessage::Aggregate { sessions, profile } => {
+                Ok(AggregateReply { sessions, profile })
+            }
+            other => Err(unexpected("Aggregate", &other)),
+        }
+    }
+
     fn send(&mut self, msg: &ClientMessage) -> Result<(), ClientError> {
         let payload = msg.encode()?;
         write_frame(&mut self.writer, &payload)?;
@@ -293,6 +332,18 @@ impl Client {
         want: impl Fn(&ServerMessage) -> bool,
         err_session: u32,
     ) -> Result<ServerMessage, ClientError> {
+        self.wait_matching_err(want, move |s| s == err_session || s == 0)
+    }
+
+    /// [`wait_matching`](Self::wait_matching) with an explicit error
+    /// scope: error frames whose session satisfies `err` short-circuit,
+    /// others are parked. Multi-session commands (aggregation) pass
+    /// `|_| true` — the server may blame any of the involved sessions.
+    fn wait_matching_err(
+        &mut self,
+        want: impl Fn(&ServerMessage) -> bool,
+        err: impl Fn(u32) -> bool,
+    ) -> Result<ServerMessage, ClientError> {
         // Pending replies first — they arrived earlier.
         let mut i = 0;
         while i < self.pending.len() {
@@ -311,7 +362,7 @@ impl Client {
                 message,
             } = &msg
             {
-                if *s == err_session || *s == 0 {
+                if err(*s) {
                     return Err(ClientError::Server {
                         session: *s,
                         code: *code,

@@ -27,7 +27,7 @@ mod net;
 mod server;
 mod session;
 
-pub use client::{Client, ClientError, CloseAck, FlushAck, MetricsReply};
+pub use client::{AggregateReply, Client, ClientError, CloseAck, FlushAck, MetricsReply};
 pub use net::Listen;
 pub use protocol::{
     ErrorCode, Fnv64, HistogramSnapshot, ProfileSnapshot, SessionOptions, PROTOCOL_VERSION,

@@ -32,6 +32,7 @@ const T_FLUSH: u8 = 0x04;
 const T_SNAP_HIST: u8 = 0x05;
 const T_SNAP_METRICS: u8 = 0x06;
 const T_CLOSE: u8 = 0x07;
+const T_SNAP_AGG: u8 = 0x08;
 
 // Server message tags.
 const T_HELLO_ACK: u8 = 0x81;
@@ -40,6 +41,7 @@ const T_FLUSHED: u8 = 0x84;
 const T_HISTOGRAM: u8 = 0x85;
 const T_METRICS: u8 = 0x86;
 const T_CLOSED: u8 = 0x87;
+const T_AGGREGATE: u8 = 0x88;
 const T_ERROR: u8 = 0xEE;
 
 /// Per-session profiling options carried by `OpenSession`.
@@ -164,6 +166,45 @@ pub struct HistogramSnapshot {
     pub infinite: f64,
 }
 
+impl HistogramSnapshot {
+    /// Adds `other`'s weight into this snapshot.
+    ///
+    /// Bucket lists hold only occupied buckets of one binning, sorted
+    /// by range, so this is a sorted merge: equal `(lo, hi)` ranges sum
+    /// their weights, ranges present on one side only carry over. The
+    /// infinite (cold) weight is additive — the composition rule the
+    /// cold-correction golden tests pin.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let a = std::mem::take(&mut self.buckets);
+        let b = &other.buckets;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (alo, ahi, aw) = a[i];
+            let (blo, bhi, bw) = b[j];
+            match (alo, ahi).cmp(&(blo, bhi)) {
+                std::cmp::Ordering::Equal => {
+                    out.push((alo, ahi, aw + bw));
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.buckets = out;
+        self.infinite += other.infinite;
+    }
+}
+
 /// A profile flattened for the wire — everything the registry golden
 /// digest covers, in one copyable snapshot.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -204,6 +245,29 @@ impl ProfileSnapshot {
             rd: flatten(p.rd.as_histogram()),
             rt: flatten(p.rt.as_histogram()),
         }
+    }
+
+    /// Folds `other` into this snapshot — the wire-level face of the
+    /// profile merge monoid.
+    ///
+    /// Counters and the distinct-block estimate are additive;
+    /// histograms merge bucket-range by bucket-range (see
+    /// [`HistogramSnapshot::merge`]). The server answers
+    /// [`SnapshotAggregate`] by folding `ProfileSnapshot::default()`
+    /// with each requested session's snapshot **in request order**
+    /// through this exact function, so a client folding per-session
+    /// snapshots the same way reproduces the server's aggregate
+    /// bit for bit.
+    ///
+    /// [`SnapshotAggregate`]: ClientMessage::SnapshotAggregate
+    pub fn merge(&mut self, other: &ProfileSnapshot) {
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.samples = self.samples.saturating_add(other.samples);
+        self.traps = self.traps.saturating_add(other.traps);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.m_estimate += other.m_estimate;
+        self.rd.merge(&other.rd);
+        self.rt.merge(&other.rt);
     }
 
     /// Folds this snapshot into a digest in the exact word order the
@@ -361,6 +425,16 @@ pub enum ClientMessage {
         /// Target session.
         session: u32,
     },
+    /// Requests one fleet profile over several open sessions: the
+    /// server snapshots each listed session and folds the snapshots
+    /// into a single [`ProfileSnapshot`] (in list order, via
+    /// [`ProfileSnapshot::merge`]) with bounded memory — one
+    /// accumulator, however many sessions are listed.
+    SnapshotAggregate {
+        /// Sessions to fold, in fold order. Must be non-empty; every
+        /// id must be open and past its trace header.
+        sessions: Vec<u32>,
+    },
 }
 
 impl ClientMessage {
@@ -398,6 +472,16 @@ impl ClientMessage {
             ClientMessage::SnapshotHistogram { session } => tag_session(T_SNAP_HIST, *session),
             ClientMessage::SnapshotMetrics { session } => tag_session(T_SNAP_METRICS, *session),
             ClientMessage::CloseSession { session } => tag_session(T_CLOSE, *session),
+            ClientMessage::SnapshotAggregate { sessions } => {
+                let mut w = PayloadWriter::new(T_SNAP_AGG);
+                let n = u32::try_from(sessions.len())
+                    .map_err(|_| FrameError::Oversized(sessions.len()))?;
+                w.put_u32(n);
+                for &session in sessions {
+                    w.put_u32(session);
+                }
+                w.finish()
+            }
         };
         Ok(payload)
     }
@@ -442,6 +526,19 @@ impl ClientMessage {
             T_CLOSE => ClientMessage::CloseSession {
                 session: r.take_u32()?,
             },
+            T_SNAP_AGG => {
+                let n = r.take_u32()? as usize;
+                // 4 bytes per id: a count the payload can't back is
+                // rejected before any allocation.
+                if n.saturating_mul(4) > r.remaining() {
+                    return Err(FrameError::Malformed);
+                }
+                let mut sessions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sessions.push(r.take_u32()?);
+                }
+                ClientMessage::SnapshotAggregate { sessions }
+            }
             _ => return Err(FrameError::Malformed),
         };
         r.expect_end()?;
@@ -503,6 +600,15 @@ pub enum ServerMessage {
         /// to exactly its declared record count.
         clean: bool,
         /// The final profile (over the decodable prefix when unclean).
+        profile: ProfileSnapshot,
+    },
+    /// One fleet profile answering a
+    /// [`SnapshotAggregate`](ClientMessage::SnapshotAggregate): every
+    /// requested session's snapshot folded into a single profile.
+    Aggregate {
+        /// How many sessions were folded in.
+        sessions: u32,
+        /// The fleet profile.
         profile: ProfileSnapshot,
     },
     /// A typed error. `session` 0 means the connection itself.
@@ -572,6 +678,12 @@ impl ServerMessage {
                 profile.put(&mut w)?;
                 w.finish()
             }
+            ServerMessage::Aggregate { sessions, profile } => {
+                let mut w = PayloadWriter::new(T_AGGREGATE);
+                w.put_u32(*sessions);
+                profile.put(&mut w)?;
+                w.finish()
+            }
             ServerMessage::Error {
                 session,
                 code,
@@ -622,6 +734,10 @@ impl ServerMessage {
                 clean: r.take_u8()? != 0,
                 profile: ProfileSnapshot::take(&mut r)?,
             },
+            T_AGGREGATE => ServerMessage::Aggregate {
+                sessions: r.take_u32()?,
+                profile: ProfileSnapshot::take(&mut r)?,
+            },
             T_ERROR => ServerMessage::Error {
                 session: r.take_u32()?,
                 code: ErrorCode::from_u8(r.take_u8()?)?,
@@ -637,7 +753,9 @@ impl ServerMessage {
     #[must_use]
     pub fn session(&self) -> u32 {
         match self {
-            ServerMessage::HelloAck { .. } => 0,
+            // An aggregate spans sessions: like the handshake, it
+            // belongs to the connection, not to any one session.
+            ServerMessage::HelloAck { .. } | ServerMessage::Aggregate { .. } => 0,
             ServerMessage::SessionOpened { session }
             | ServerMessage::Flushed { session, .. }
             | ServerMessage::Histogram { session, .. }
@@ -708,6 +826,9 @@ mod tests {
             roundtrip_client(ClientMessage::SnapshotMetrics { session });
             roundtrip_client(ClientMessage::CloseSession { session });
         }
+        for sessions in [vec![], vec![1], vec![3, 1, 2, u32::MAX]] {
+            roundtrip_client(ClientMessage::SnapshotAggregate { sessions });
+        }
     }
 
     #[test]
@@ -736,11 +857,65 @@ mod tests {
             clean: true,
             profile: sample_profile(),
         });
+        roundtrip_server(ServerMessage::Aggregate {
+            sessions: 3,
+            profile: sample_profile(),
+        });
         roundtrip_server(ServerMessage::Error {
             session: 0,
             code: ErrorCode::Protocol,
             message: "first message must be Hello".to_string(),
         });
+    }
+
+    #[test]
+    fn aggregate_session_count_is_bounds_checked() {
+        // A session count the payload can't back is rejected before
+        // any allocation, mirroring the histogram bucket-count guard.
+        let mut w = PayloadWriter::new(T_SNAP_AGG);
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            ClientMessage::decode(w.finish()),
+            Err(FrameError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_aligned_buckets() {
+        let mut fleet = ProfileSnapshot::default();
+        fleet.merge(&sample_profile());
+        fleet.merge(&sample_profile());
+        let one = sample_profile();
+        assert_eq!(fleet.accesses, 2 * one.accesses);
+        assert_eq!(fleet.samples, 2 * one.samples);
+        assert_eq!(fleet.traps, 2 * one.traps);
+        assert_eq!(fleet.evictions, 2 * one.evictions);
+        assert_eq!(fleet.m_estimate, 2.0 * one.m_estimate);
+        // Identical binnings: same bucket ranges, doubled weights.
+        assert_eq!(fleet.rd.buckets.len(), one.rd.buckets.len());
+        for (m, o) in fleet.rd.buckets.iter().zip(&one.rd.buckets) {
+            assert_eq!((m.0, m.1), (o.0, o.1));
+            assert_eq!(m.2, 2.0 * o.2);
+        }
+        assert_eq!(fleet.rd.infinite, 2.0 * one.rd.infinite);
+    }
+
+    #[test]
+    fn snapshot_merge_interleaves_disjoint_buckets_in_order() {
+        let mut a = HistogramSnapshot {
+            buckets: vec![(0, 2, 1.0), (4, 8, 2.0)],
+            infinite: 1.0,
+        };
+        let b = HistogramSnapshot {
+            buckets: vec![(2, 4, 0.5), (4, 8, 3.0), (8, 16, 4.0)],
+            infinite: 0.5,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.buckets,
+            vec![(0, 2, 1.0), (2, 4, 0.5), (4, 8, 5.0), (8, 16, 4.0)]
+        );
+        assert_eq!(a.infinite, 1.5);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! connection.
 
 use crate::net::{AnyListener, AnyStream, Listen};
-use crate::protocol::{ClientMessage, ErrorCode, ServerMessage, SessionOptions, PROTOCOL_VERSION};
+use crate::protocol::{
+    ClientMessage, ErrorCode, ProfileSnapshot, ServerMessage, SessionOptions, PROTOCOL_VERSION,
+};
 use bytes::Bytes;
 use rdx_trace::frame::{read_frame, write_frame, FrameError};
 use std::collections::BTreeMap;
@@ -372,6 +374,9 @@ fn serve_connection(
             ClientMessage::SnapshotMetrics { session } => {
                 dispatch(&mut sessions, out, session, SessionCmd::SnapshotMetrics);
             }
+            ClientMessage::SnapshotAggregate { sessions: ids } => {
+                aggregate(&mut sessions, out, &ids);
+            }
             ClientMessage::CloseSession { session } => {
                 match sessions.remove(&session) {
                     Some(handle) => {
@@ -458,6 +463,63 @@ fn dispatch(
             "session worker exited",
         );
     }
+}
+
+/// Answers a `SnapshotAggregate`: snapshots each listed session and
+/// folds the answers into one fleet profile, **in request order**, so
+/// the reply is reproducible by a client folding per-session snapshots
+/// the same way. Memory is bounded by one accumulator plus one
+/// in-flight snapshot regardless of how many sessions are listed.
+///
+/// All-or-nothing: an unknown, failed, or not-ready session aborts the
+/// aggregate with a typed error naming it — a partial fleet profile
+/// would be silently wrong.
+fn aggregate(sessions: &mut BTreeMap<u32, SessionHandle>, out: &SyncSender<Bytes>, ids: &[u32]) {
+    if ids.is_empty() {
+        send_error(
+            out,
+            0,
+            ErrorCode::Protocol,
+            "aggregate needs at least one session",
+        );
+        return;
+    }
+    let mut fleet = ProfileSnapshot::default();
+    for &id in ids {
+        let Some(handle) = sessions.get(&id) else {
+            send_error(out, id, ErrorCode::UnknownSession, "no such session");
+            return;
+        };
+        let (reply_tx, reply_rx) = sync_channel::<Result<ProfileSnapshot, ErrorCode>>(1);
+        if handle.tx.send(SessionCmd::Aggregate(reply_tx)).is_err() {
+            if let Some(handle) = sessions.remove(&id) {
+                let _ = handle.join.join();
+            }
+            send_error(out, id, ErrorCode::UnknownSession, "session worker exited");
+            return;
+        }
+        // The snapshot is ordered after every chunk already queued for
+        // the session — an aggregate sees everything sent before it.
+        match reply_rx.recv() {
+            Ok(Ok(snapshot)) => fleet.merge(&snapshot),
+            Ok(Err(code)) => {
+                send_error(out, id, code, "session cannot join the aggregate");
+                return;
+            }
+            Err(_) => {
+                send_error(out, id, ErrorCode::Internal, "session died mid-aggregate");
+                return;
+            }
+        }
+    }
+    rdx_metrics::counter("rdx.server.aggregates").incr();
+    send(
+        out,
+        &ServerMessage::Aggregate {
+            sessions: ids.len() as u32,
+            profile: fleet,
+        },
+    );
 }
 
 fn send(out: &SyncSender<Bytes>, msg: &ServerMessage) {

@@ -41,6 +41,11 @@ pub enum SessionCmd {
     Flush,
     /// Profile the bytes so far and reply with histograms.
     SnapshotHistogram,
+    /// Profile the bytes so far and hand the snapshot back through the
+    /// given channel — to the connection thread for fleet aggregation,
+    /// not to the client. Failures travel as the session's error class
+    /// so the connection can report which session broke the aggregate.
+    Aggregate(SyncSender<Result<ProfileSnapshot, ErrorCode>>),
     /// Reply with session counters and the metrics registry.
     SnapshotMetrics,
     /// Final profile, then terminate.
@@ -131,6 +136,20 @@ impl SessionState {
                         ),
                     }
                 }
+                true
+            }
+            SessionCmd::Aggregate(reply) => {
+                let result = if let Some(code) = self.failure {
+                    Err(code)
+                } else {
+                    match self.profile(w) {
+                        Some((profile, _clean)) => Ok(profile),
+                        None => Err(ErrorCode::NotReady),
+                    }
+                };
+                // A send error means the connection thread stopped
+                // waiting (it aborted the aggregate); nothing to do.
+                let _ = reply.send(result);
                 true
             }
             SessionCmd::SnapshotMetrics => {

@@ -165,6 +165,97 @@ fn live_snapshots_converge_to_the_final_profile() {
 }
 
 #[test]
+fn fleet_aggregate_equals_client_side_fold_of_snapshots() {
+    use rdx_server::ProfileSnapshot;
+
+    let handle = start_server(ServerOptions::default());
+    let mut client = Client::connect(handle.listen()).expect("connect");
+    let traces = suite_rdxt();
+
+    let sessions: Vec<u32> = traces
+        .iter()
+        .map(|(name, _)| client.open_session(name, golden_options()).expect("open"))
+        .collect();
+    for (i, (_, bytes)) in traces.iter().enumerate() {
+        for chunk in bytes.chunks(48 << 10) {
+            client.send_chunk(sessions[i], chunk).expect("chunk");
+        }
+    }
+
+    // The contract: the server's bounded-memory fold equals a client
+    // folding per-session snapshots in request order — bit for bit.
+    let mut expected = ProfileSnapshot::default();
+    for &s in &sessions {
+        expected.merge(&client.snapshot_histogram(s).expect("snapshot"));
+    }
+    let reply = client.snapshot_aggregate(&sessions).expect("aggregate");
+    assert_eq!(reply.sessions, sessions.len() as u32);
+    assert_eq!(reply.profile, expected);
+
+    // Counters are additive across the fleet.
+    assert_eq!(
+        reply.profile.accesses,
+        traces.len() as u64 * golden_params().accesses
+    );
+
+    // A permuted request folds in *its* order: exact counters agree,
+    // while KM-corrected fractional weights may differ in final ULPs
+    // (float addition is not order-independent) — which is exactly why
+    // the reply contract pins the fold to request order.
+    let mut reversed: Vec<u32> = sessions.clone();
+    reversed.reverse();
+    let back = client.snapshot_aggregate(&reversed).expect("aggregate");
+    assert_eq!(back.sessions, reply.sessions);
+    assert_eq!(back.profile.accesses, reply.profile.accesses);
+    assert_eq!(back.profile.samples, reply.profile.samples);
+    assert_eq!(back.profile.traps, reply.profile.traps);
+
+    // Error scoping: unknown and absent sessions abort the aggregate
+    // with a typed error, and the connection stays usable.
+    let err = client
+        .snapshot_aggregate(&[sessions[0], 999])
+        .expect_err("unknown session must abort the aggregate");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: ErrorCode::UnknownSession,
+            session: 999,
+            ..
+        }
+    ));
+    let err = client
+        .snapshot_aggregate(&[])
+        .expect_err("empty aggregate is a protocol error");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: ErrorCode::Protocol,
+            ..
+        }
+    ));
+
+    // A session with no trace header yet is NotReady, named by id.
+    let fresh = client
+        .open_session("fresh", golden_options())
+        .expect("open");
+    let err = client
+        .snapshot_aggregate(&[sessions[0], fresh])
+        .expect_err("headerless session must abort the aggregate");
+    match err {
+        ClientError::Server { code, session, .. } => {
+            assert_eq!(code, ErrorCode::NotReady);
+            assert_eq!(session, fresh);
+        }
+        other => panic!("expected a typed server error, got {other}"),
+    }
+
+    // Still healthy: sessions close cleanly after all that.
+    for &s in &sessions {
+        assert!(client.close_session(s).expect("close").clean);
+    }
+}
+
+#[test]
 fn malformed_stream_fails_its_session_but_not_its_neighbors() {
     let handle = start_server(ServerOptions::default());
     let mut client = Client::connect(handle.listen()).expect("connect");
